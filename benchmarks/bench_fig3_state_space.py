@@ -1,0 +1,76 @@
+"""E1 — Fig. 3(b,c): FSM state-space growth under noise.
+
+Paper: the NN FSM grows from 3 states / 6 transitions (no noise) to
+65 states / 4160 transitions with noise range [0,1] % on the 6 input
+nodes (5 genes + bias).  Both counts must match exactly — they are
+combinatorial facts about the model, not measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import fig3_state_space_series
+from repro.config import NoiseConfig
+from repro.core import dataset_fsm_module
+from repro.core.translate import noise_model_state_counts
+from repro.fsm import TransitionSystem, count_states_and_transitions
+
+
+def test_fig3_no_noise_fsm(benchmark, quantized, case_study):
+    module = dataset_fsm_module(quantized, case_study.test.features)
+
+    def build_and_count():
+        return count_states_and_transitions(TransitionSystem(module))
+
+    counts = benchmark(build_and_count)
+    assert counts == (3, 6)  # paper value, exact
+
+
+def test_fig3_unit_noise_fsm(benchmark, quantized, case_study):
+    x = np.asarray(case_study.test.features[0])
+    label = int(case_study.test.labels[0])
+
+    def build_and_count():
+        return noise_model_state_counts(
+            quantized,
+            x,
+            label,
+            NoiseConfig(min_percent=0, max_percent=1),
+            noisy_bias_node=True,
+        )
+
+    counts = benchmark(build_and_count)
+    assert counts == (65, 4160)  # paper value, exact
+    series = fig3_state_space_series((3, 6), counts)
+    print("\nFig. 3 series:", series)
+
+
+def test_fig3_growth_beyond_paper(benchmark, quantized, case_study):
+    """Extension: the exponential trend the paper warns about (§V)."""
+    x = np.asarray(case_study.test.features[0])
+    label = int(case_study.test.labels[0])
+
+    def sweep():
+        rows = []
+        for high in (1, 2, 3):
+            counts = noise_model_state_counts(
+                quantized,
+                x,
+                label,
+                NoiseConfig(min_percent=0, max_percent=high),
+                noisy_bias_node=True,
+                max_states=10_000_000,
+            )
+            rows.append((high, counts))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nstate-space growth [0..P]%:", rows)
+    states = [counts[0] for _, counts in rows]
+    assert states == sorted(states)
+    # (P+1)^6 noise assignments + initial state.
+    for high, (state_count, transition_count) in rows:
+        expected = (high + 1) ** 6
+        assert state_count == expected + 1
+        assert transition_count == expected + expected * expected

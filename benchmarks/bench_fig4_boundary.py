@@ -1,0 +1,29 @@
+"""E3 — Fig. 4 (top-middle): classification-boundary estimation.
+
+Paper: inputs near the boundary flip under small noise; others survive
+±50 %.  The per-input minimal-flip profile regenerates that panel.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig4_boundary_series, horizontal_bar_chart
+from repro.core import BoundaryEstimation
+
+
+def test_fig4_boundary_profile(benchmark, tolerance_report):
+    estimation = BoundaryEstimation(near_threshold=15, far_threshold=50)
+
+    report = benchmark(lambda: estimation.analyze(tolerance_report))
+    series = fig4_boundary_series(report.profile, tolerance_report.search_ceiling)
+    print("\nFig. 4 boundary series:")
+    chart = {
+        f"test[{k}]": (v if v is not None else tolerance_report.search_ceiling)
+        for k, v in sorted(report.profile.items(), key=lambda kv: kv[0])
+    }
+    print(horizontal_bar_chart(chart, title="minimal flipping noise per input (ceiling = robust)"))
+    print(report.describe())
+
+    # Paper shape: susceptible inputs exist AND inputs robust beyond ±50%.
+    assert series["susceptible_inputs"] > 0
+    assert series["spread_exceeds_50"]
+    assert series["robust_inputs"] > 0

@@ -1,0 +1,69 @@
+"""E2 — Fig. 4 (left column): noise tolerance of the trained network.
+
+Paper: no misclassification at ±11 % or below; the number of
+misclassified inputs grows with the noise range.  Our synthetic
+substrate lands the same shape with tolerance ±7 % (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig4_tolerance_series, horizontal_bar_chart
+from repro.core import NoiseToleranceAnalysis
+
+
+def test_fig4_tolerance_profile(benchmark, quantized, case_study):
+    analysis = NoiseToleranceAnalysis(quantized, search_ceiling=60)
+
+    report = benchmark.pedantic(
+        lambda: analysis.analyze(case_study.test), rounds=1, iterations=1
+    )
+    series = fig4_tolerance_series(report)
+    print("\nFig. 4 tolerance series:")
+    print(
+        horizontal_bar_chart(
+            dict(zip(series["noise_percents"], series["misclassified_inputs"])),
+            title="misclassified inputs per ±P% range",
+        )
+    )
+    print("tolerance:", f"±{series['tolerance']}%  (paper: ±11%)")
+
+    # Shape assertions (the reproduction claims).
+    assert series["tolerance"] is not None and series["tolerance"] >= 1
+    assert series["monotone"]
+    assert series["misclassified_inputs"][-1] > 0
+
+
+def test_fig4_tolerance_search_schedules(benchmark, quantized, case_study):
+    """Ablation: the paper's shrink-by-one loop vs bisection."""
+    paper_loop = NoiseToleranceAnalysis(
+        quantized, search_ceiling=40, schedule="paper"
+    )
+    binary = NoiseToleranceAnalysis(
+        quantized, search_ceiling=40, schedule="binary"
+    )
+
+    paper_report = benchmark.pedantic(
+        lambda: paper_loop.analyze(case_study.test), rounds=1, iterations=1
+    )
+    binary_report = binary.analyze(case_study.test)
+    paper_queries = sum(e.queries for e in paper_report.per_input)
+    binary_queries = sum(e.queries for e in binary_report.per_input)
+    print(
+        f"\nqueries: paper-loop {paper_queries}, bisection {binary_queries} "
+        f"(same tolerance: ±{paper_report.tolerance}% == ±{binary_report.tolerance}%)"
+    )
+    assert paper_report.tolerance == binary_report.tolerance
+    # Cost profile differs by input mix: the paper loop pays one query per
+    # ceiling-robust input but walks down one percent at a time for
+    # vulnerable ones; bisection is log-cost everywhere.
+    vulnerable = [
+        e for e in paper_report.per_input if e.min_flip_percent is not None
+    ]
+    if vulnerable:
+        paper_vulnerable = sum(e.queries for e in vulnerable)
+        binary_vulnerable = sum(
+            e.queries
+            for e in binary_report.per_input
+            if e.min_flip_percent is not None
+        )
+        assert binary_vulnerable <= paper_vulnerable

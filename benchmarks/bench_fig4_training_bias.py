@@ -1,0 +1,34 @@
+"""E4 — Fig. 4 (top-right): training bias.
+
+Paper: ~70 % of training samples belong to L1, and *all* noise-driven
+misclassifications flip L0 → L1.  Our training set is 71.1 % L1 and the
+flip census is 100 % toward the majority class.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fig4_bias_series
+from repro.core import NoiseVectorExtraction, TrainingBiasAnalysis
+from repro.data import LABEL_ALL
+
+
+def test_fig4_training_bias_census(
+    benchmark, quantized, case_study, tolerance_report
+):
+    percent = (tolerance_report.tolerance or 6) + 1
+    extraction_analysis = NoiseVectorExtraction(quantized)
+    bias_analysis = TrainingBiasAnalysis(case_study.train)
+
+    def run():
+        extraction = extraction_analysis.extract(case_study.test, percent)
+        return bias_analysis.analyze(extraction)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = fig4_bias_series(report)
+    print("\nFig. 4 bias series:", series)
+    print(report.describe())
+
+    assert series["training_majority_label"] == LABEL_ALL
+    assert 0.6 <= series["training_majority_share"] <= 0.8  # paper: ~0.70
+    assert series["bias_confirmed"]
+    assert series["majority_flip_share"] == 1.0  # paper: all flips L0->L1

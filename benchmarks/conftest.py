@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Everything expensive (data generation, training, quantisation, the
+tolerance profile) is computed once per session; the benchmarks then
+time the individual analyses and print the regenerated paper series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Fannet
+from repro.data import load_leukemia_case_study
+from repro.nn import train_paper_network
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    return load_leukemia_case_study()
+
+
+@pytest.fixture(scope="session")
+def trained(case_study):
+    return train_paper_network(case_study.train.features, case_study.train.labels)
+
+
+@pytest.fixture(scope="session")
+def fannet(case_study, trained):
+    return Fannet(trained.network, case_study.train, case_study.test)
+
+
+@pytest.fixture(scope="session")
+def quantized(fannet):
+    return fannet.quantized
+
+
+@pytest.fixture(scope="session")
+def tolerance_report(fannet):
+    return fannet.noise_tolerance(search_ceiling=60)
+
+
+@pytest.fixture(scope="session")
+def vulnerable_input(case_study, quantized, tolerance_report):
+    """The most noise-susceptible correctly-classified test input."""
+    entry = min(
+        (e for e in tolerance_report.per_input if e.min_flip_percent is not None),
+        key=lambda e: e.min_flip_percent,
+    )
+    x = np.asarray(case_study.test.features[entry.index])
+    return entry.index, x, entry.true_label, entry.min_flip_percent

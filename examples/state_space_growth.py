@@ -1,0 +1,71 @@
+"""Fig. 3 reproduction: the FSM of the NN and its growth under noise.
+
+Prints the translated SMV model and the exact state/transition counts:
+3 states / 6 transitions without noise, 65 / 4160 with noise [0,1] % on
+the six input nodes (five genes plus the bias node).
+
+Run:  python examples/state_space_growth.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import NoiseConfig
+from repro.core import dataset_fsm_module, network_noise_module
+from repro.core.translate import noise_model_state_counts
+from repro.data import load_leukemia_case_study
+from repro.fsm import TransitionSystem, count_states_and_transitions
+from repro.nn import quantize_network, train_paper_network
+from repro.smv import print_module
+
+
+def main() -> None:
+    case_study = load_leukemia_case_study()
+    result = train_paper_network(case_study.train.features, case_study.train.labels)
+    network = quantize_network(result.network)
+    x = np.asarray(case_study.test.features[0])
+    label = int(case_study.test.labels[0])
+
+    # Fig. 3(b): no noise, non-deterministic sample choice.
+    module = dataset_fsm_module(network, case_study.test.features)
+    print("--- no-noise FSM (Fig. 3b) ---")
+    print(print_module(module))
+    counts = count_states_and_transitions(TransitionSystem(module))
+    print(f"states={counts[0]}, transitions={counts[1]}   (paper: 3, 6)")
+
+    # Fig. 3(c): noise [0,1]% on 6 input nodes.
+    print("\n--- noise FSM [0,1]% (Fig. 3c) ---")
+    counts = noise_model_state_counts(
+        network,
+        x,
+        label,
+        NoiseConfig(min_percent=0, max_percent=1),
+        noisy_bias_node=True,
+    )
+    print(f"states={counts[0]}, transitions={counts[1]}   (paper: 65, 4160)")
+
+    # The blowup trend the paper warns about.
+    print("\n--- growth with the noise range ---")
+    for high in (1, 2, 3):
+        counts = noise_model_state_counts(
+            network,
+            x,
+            label,
+            NoiseConfig(min_percent=0, max_percent=high),
+            noisy_bias_node=True,
+            max_states=10_000_000,
+        )
+        print(f"noise [0,{high}]%: states={counts[0]:>7}, transitions={counts[1]:>12}")
+
+    # The SMV text of the verification model itself (±1%, 5 gene inputs).
+    print("\n--- translated verification model (excerpt) ---")
+    module, _ = network_noise_module(network, x, label, NoiseConfig(max_percent=1))
+    text = print_module(module)
+    head = "\n".join(text.splitlines()[:25])
+    print(head)
+    print(f"… ({len(text.splitlines())} lines total)")
+
+
+if __name__ == "__main__":
+    main()

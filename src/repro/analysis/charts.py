@@ -1,0 +1,30 @@
+"""ASCII bar charts for terminal-rendered figures."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def horizontal_bar_chart(
+    series: Mapping[object, float],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render label → value as horizontal bars scaled to ``width``."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    lines = [title] if title else []
+    if not series:
+        lines.append("(empty series)")
+        return "\n".join(lines)
+    peak = max(abs(float(v)) for v in series.values())
+    label_width = max(len(str(k)) for k in series)
+    for key, value in series.items():
+        value = float(value)
+        bar_length = 0 if peak == 0 else round(abs(value) / peak * width)
+        bar = "#" * bar_length
+        lines.append(
+            f"{str(key).rjust(label_width)} | {bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)

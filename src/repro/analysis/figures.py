@@ -1,0 +1,97 @@
+"""Series generators for every figure panel in the paper.
+
+Each function returns plain dict/list series — exactly what the paper
+plots — so the benchmarks can print them and the tests can assert their
+shape.
+"""
+
+from __future__ import annotations
+
+from ..core.bias import BiasReport
+from ..core.sensitivity import SensitivityReport
+from ..core.tolerance import ToleranceReport
+
+
+def fig3_state_space_series(
+    no_noise_counts: tuple[int, int],
+    noise_counts: tuple[int, int],
+) -> dict:
+    """Fig. 3(b,c): FSM growth.  Paper: (3, 6) → (65, 4160)."""
+    return {
+        "no_noise": {
+            "states": no_noise_counts[0],
+            "transitions": no_noise_counts[1],
+        },
+        "noise_0_1_percent": {
+            "states": noise_counts[0],
+            "transitions": noise_counts[1],
+        },
+        "growth_factor_states": noise_counts[0] / max(1, no_noise_counts[0]),
+        "growth_factor_transitions": noise_counts[1] / max(1, no_noise_counts[1]),
+    }
+
+
+def fig4_tolerance_series(
+    report: ToleranceReport, percents: list[int] | None = None
+) -> dict:
+    """Fig. 4 top/bottom-left: #misclassified inputs per noise range."""
+    percents = percents or [5, 10, 15, 20, 25, 30, 35, 40]
+    counts = report.misclassification_counts(percents)
+    return {
+        "noise_percents": percents,
+        "misclassified_inputs": [counts[p] for p in percents],
+        "tolerance": report.tolerance,
+        "monotone": all(
+            counts[a] <= counts[b]
+            for a, b in zip(percents, percents[1:])
+        ),
+    }
+
+
+def fig4_bias_series(report: BiasReport) -> dict:
+    """Fig. 4 top-right: flip directions vs the training-set census."""
+    return {
+        "training_majority_label": report.training_majority_label,
+        "training_majority_share": report.training_majority_share,
+        "flip_matrix": {
+            f"L{true}->L{wrong}": count
+            for (true, wrong), count in sorted(report.flip_matrix.items())
+        },
+        "majority_flip_share": report.majority_flip_share,
+        "bias_confirmed": report.bias_confirmed,
+    }
+
+
+def fig4_sensitivity_series(report: SensitivityReport) -> dict:
+    """Fig. 4 right column: per-node signed counterexample counts."""
+    return {
+        "noise_percent": report.noise_percent,
+        "nodes": [
+            {
+                "node": f"i{n.node + 1}",
+                "positive": n.positive,
+                "negative": n.negative,
+                "skew": round(n.skew, 4),
+                "insensitive_to_positive": n.insensitive_to_positive,
+                "insensitive_to_negative": n.insensitive_to_negative,
+            }
+            for n in report.nodes
+        ],
+        "one_sided_nodes": [f"i{n + 1}" for n in report.one_sided_nodes()],
+    }
+
+
+def fig4_boundary_series(profile: dict[int, int | None], ceiling: int) -> dict:
+    """Fig. 4 top-middle: per-input minimal flipping noise (None = robust)."""
+    finite = [v for v in profile.values() if v is not None]
+    return {
+        "per_input_min_flip": {str(k): v for k, v in sorted(profile.items())},
+        "search_ceiling": ceiling,
+        "robust_inputs": sum(1 for v in profile.values() if v is None),
+        "susceptible_inputs": len(finite),
+        "min": min(finite) if finite else None,
+        "max": max(finite) if finite else None,
+        "spread_exceeds_50": any(
+            v is None or v > 50 for v in profile.values()
+        ),
+    }

@@ -1,0 +1,52 @@
+"""JSON experiment records.
+
+Every benchmark writes one of these next to its textual output so the
+numbers in EXPERIMENTS.md can be regenerated and diffed mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..errors import DataError
+
+RECORD_VERSION = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment run: identity, parameters, measured series."""
+
+    experiment_id: str  # e.g. "E2-fig4-noise-tolerance"
+    description: str = ""
+    parameters: dict = field(default_factory=dict)
+    measured: dict = field(default_factory=dict)
+    expected_shape: str = ""  # the qualitative claim being reproduced
+    version: int = RECORD_VERSION
+
+    def matches_shape(self) -> bool | None:
+        """Subclass-free convention: benchmarks set measured['shape_holds']."""
+        value = self.measured.get("shape_holds")
+        return bool(value) if value is not None else None
+
+
+def save_record(record: ExperimentRecord, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(asdict(record), indent=2, default=str))
+
+
+def load_record(path: str | Path) -> ExperimentRecord:
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as err:
+        raise DataError(f"not a valid experiment record: {err}") from None
+    if payload.get("version") != RECORD_VERSION:
+        raise DataError(f"unsupported record version {payload.get('version')}")
+    return ExperimentRecord(
+        experiment_id=payload["experiment_id"],
+        description=payload.get("description", ""),
+        parameters=payload.get("parameters", {}),
+        measured=payload.get("measured", {}),
+        expected_shape=payload.get("expected_shape", ""),
+    )

@@ -1,0 +1,47 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Fixed-width table with a header rule; values via ``str``."""
+    if not headers:
+        raise ValueError("a table needs headers")
+    columns = len(headers)
+    rendered_rows = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+        rendered_rows.append([_cell(value) for value in row])
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if value is None:
+        return "—"
+    return str(value)

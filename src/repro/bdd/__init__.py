@@ -1,0 +1,11 @@
+"""Binary Decision Diagram substrate (system S7 in DESIGN.md).
+
+Reduced Ordered BDDs with a unique table and memoised ITE, in the CUDD
+tradition (no complement edges — clarity over constant factors).  Used by
+the BDD-based symbolic model-checking engine, mirroring the paper's
+discussion of BDD vs SAT model checkers (§III-B).
+"""
+
+from .manager import BddManager, BddRef
+
+__all__ = ["BddManager", "BddRef"]

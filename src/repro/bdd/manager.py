@@ -1,0 +1,322 @@
+"""ROBDD manager.
+
+Nodes are integers; 0 and 1 are the terminals.  Internal nodes live in a
+unique table keyed by ``(level, low, high)``, so structural equality is
+pointer equality — the invariant every BDD algorithm relies on.
+Variables are identified by *level* (an int fixing the global order); the
+caller maps names to levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import ModelCheckingError
+
+FALSE_NODE = 0
+TRUE_NODE = 1
+
+
+@dataclass(frozen=True)
+class BddRef:
+    """A handle pairing a node id with its manager (safety in APIs)."""
+
+    manager: "BddManager"
+    node: int
+
+    def __and__(self, other: "BddRef") -> "BddRef":
+        self._check(other)
+        return BddRef(self.manager, self.manager.apply_and(self.node, other.node))
+
+    def __or__(self, other: "BddRef") -> "BddRef":
+        self._check(other)
+        return BddRef(self.manager, self.manager.apply_or(self.node, other.node))
+
+    def __invert__(self) -> "BddRef":
+        return BddRef(self.manager, self.manager.apply_not(self.node))
+
+    def __xor__(self, other: "BddRef") -> "BddRef":
+        self._check(other)
+        return BddRef(self.manager, self.manager.apply_xor(self.node, other.node))
+
+    def iff(self, other: "BddRef") -> "BddRef":
+        self._check(other)
+        return BddRef(self.manager, self.manager.apply_iff(self.node, other.node))
+
+    def implies(self, other: "BddRef") -> "BddRef":
+        return (~self) | other
+
+    def _check(self, other: "BddRef") -> None:
+        if self.manager is not other.manager:
+            raise ModelCheckingError("BDD operands belong to different managers")
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == FALSE_NODE
+
+    @property
+    def is_true(self) -> bool:
+        return self.node == TRUE_NODE
+
+
+class BddManager:
+    """Unique-table ROBDD manager with memoised ITE."""
+
+    def __init__(self):
+        # node id -> (level, low, high); ids 0/1 are terminals.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._quant_cache: dict[tuple[int, frozenset[int], bool], int] = {}
+        self._rename_cache: dict[tuple[int, tuple[tuple[int, int], ...]], int] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def false(self) -> BddRef:
+        return BddRef(self, FALSE_NODE)
+
+    def true(self) -> BddRef:
+        return BddRef(self, TRUE_NODE)
+
+    def var(self, level: int) -> BddRef:
+        """BDD for the single variable at ``level``."""
+        return BddRef(self, self._mk(level, FALSE_NODE, TRUE_NODE))
+
+    def nvar(self, level: int) -> BddRef:
+        """BDD for the negated variable at ``level``."""
+        return BddRef(self, self._mk(level, TRUE_NODE, FALSE_NODE))
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if level < 0:
+            raise ModelCheckingError("variable level must be non-negative")
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _level(self, node: int) -> int:
+        if node <= TRUE_NODE:
+            return 1 << 60  # terminals sit below every variable
+        return self._nodes[node][0]
+
+    # -- core: if-then-else ------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """ITE(f, g, h) = (f ∧ g) ∨ (¬f ∧ h); every boolean op reduces to it."""
+        if f == TRUE_NODE:
+            return g
+        if f == FALSE_NODE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE_NODE and h == FALSE_NODE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level(f), self._level(g), self._level(h))
+        f_low, f_high = self._cofactors(f, level)
+        g_low, g_high = self._cofactors(g, level)
+        h_low, h_high = self._cofactors(h, level)
+        result = self._mk(
+            level,
+            self.ite(f_low, g_low, h_low),
+            self.ite(f_high, g_high, h_high),
+        )
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> tuple[int, int]:
+        if self._level(node) != level:
+            return node, node
+        _, low, high = self._nodes[node]
+        return low, high
+
+    # -- boolean operations ----------------------------------------------------
+
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, FALSE_NODE, TRUE_NODE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE_NODE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE_NODE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_iff(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.apply_not(g))
+
+    # -- quantification -----------------------------------------------------------
+
+    def exists(self, levels: Iterable[int], f: int) -> int:
+        """∃ levels . f"""
+        return self._quantify(f, frozenset(levels), existential=True)
+
+    def forall(self, levels: Iterable[int], f: int) -> int:
+        """∀ levels . f"""
+        return self._quantify(f, frozenset(levels), existential=False)
+
+    def _quantify(self, f: int, levels: frozenset[int], existential: bool) -> int:
+        if f <= TRUE_NODE or not levels:
+            return f
+        key = (f, levels, existential)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        level, low, high = self._nodes[f]
+        low_q = self._quantify(low, levels, existential)
+        high_q = self._quantify(high, levels, existential)
+        if level in levels:
+            result = (
+                self.apply_or(low_q, high_q)
+                if existential
+                else self.apply_and(low_q, high_q)
+            )
+        else:
+            result = self._mk(level, low_q, high_q)
+        self._quant_cache[key] = result
+        return result
+
+    # -- renaming (for image computation) ------------------------------------------
+
+    def rename(self, f: int, mapping: dict[int, int]) -> int:
+        """Substitute variable levels according to ``mapping``.
+
+        Mapping must be order-preserving between the source and target
+        levels (true for the interleaved current/next convention used by
+        the symbolic checker); this keeps renaming a single traversal.
+        """
+        items = tuple(sorted(mapping.items()))
+        ordered = [target for _, target in items]
+        if ordered != sorted(ordered):
+            raise ModelCheckingError("rename mapping must preserve variable order")
+        return self._rename(f, items)
+
+    def _rename(self, f: int, items: tuple[tuple[int, int], ...]) -> int:
+        if f <= TRUE_NODE:
+            return f
+        key = (f, items)
+        cached = self._rename_cache.get(key)
+        if cached is not None:
+            return cached
+        level, low, high = self._nodes[f]
+        new_level = dict(items).get(level, level)
+        result = self._mk(new_level, self._rename(low, items), self._rename(high, items))
+        self._rename_cache[key] = result
+        return result
+
+    # -- inspection ------------------------------------------------------------------
+
+    def node_count(self, f: int) -> int:
+        """Number of internal nodes reachable from ``f``."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE_NODE or node in seen:
+                continue
+            seen.add(node)
+            _, low, high = self._nodes[node]
+            stack.extend((low, high))
+        return len(seen)
+
+    def evaluate(self, f: int, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a level → bool assignment (must cover support)."""
+        node = f
+        while node > TRUE_NODE:
+            level, low, high = self._nodes[node]
+            if level not in assignment:
+                raise ModelCheckingError(f"assignment missing level {level}")
+            node = high if assignment[level] else low
+        return node == TRUE_NODE
+
+    def support(self, f: int) -> set[int]:
+        """Levels appearing in ``f``."""
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE_NODE or node in seen:
+                continue
+            seen.add(node)
+            level, low, high = self._nodes[node]
+            levels.add(level)
+            stack.extend((low, high))
+        return levels
+
+    def count_models(self, f: int, num_levels: int) -> int:
+        """Number of satisfying assignments over levels ``0..num_levels-1``."""
+        support = self.support(f)
+        if any(level >= num_levels for level in support):
+            raise ModelCheckingError("num_levels does not cover the BDD support")
+
+        def level_of(node: int) -> int:
+            return num_levels if node <= TRUE_NODE else self._nodes[node][0]
+
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            """Models over levels [level_of(node), num_levels)."""
+            if node == FALSE_NODE:
+                return 0
+            if node == TRUE_NODE:
+                return 1
+            if node in cache:
+                return cache[node]
+            level, low, high = self._nodes[node]
+            result = walk(low) * (1 << (level_of(low) - level - 1)) + walk(high) * (
+                1 << (level_of(high) - level - 1)
+            )
+            cache[node] = result
+            return result
+
+        # Levels above the root are unconstrained.
+        return walk(f) * (1 << level_of(f)) if f <= TRUE_NODE else walk(f) * (
+            1 << self._nodes[f][0]
+        )
+
+    def sat_iter(self, f: int, levels: list[int]) -> Iterator[dict[int, bool]]:
+        """Yield all satisfying assignments over exactly ``levels``."""
+        order = sorted(levels)
+
+        def walk(node: int, index: int, partial: dict[int, bool]):
+            if node == FALSE_NODE:
+                return
+            if index == len(order):
+                if node == TRUE_NODE:
+                    yield dict(partial)
+                return
+            level = order[index]
+            node_level = self._level(node)
+            if node_level == level:
+                _, low, high = self._nodes[node]
+                partial[level] = False
+                yield from walk(low, index + 1, partial)
+                partial[level] = True
+                yield from walk(high, index + 1, partial)
+                del partial[level]
+            else:
+                # Node does not test this level: both values allowed.
+                partial[level] = False
+                yield from walk(node, index + 1, partial)
+                partial[level] = True
+                yield from walk(node, index + 1, partial)
+                del partial[level]
+
+        yield from walk(f, 0, {})
+
+    @property
+    def size(self) -> int:
+        """Total nodes allocated in the manager (including terminals)."""
+        return len(self._nodes)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``fannet <subcommand>`` (or ``python -m repro``).
+
+Subcommands mirror the paper's workflow:
+
+- ``run``        — full case study (train → P1 → P2 → P3 → analyses)
+- ``train``      — train the case-study network and save it as JSON
+- ``translate``  — emit the SMV model for one test input
+- ``check``      — model-check an ``.smv`` file's INVARSPECs
+- ``statespace`` — Fig.-3 state/transition counts
+- ``tolerance``  — noise-tolerance search only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import fig4_bias_series, fig4_sensitivity_series, fig4_tolerance_series
+from .config import FannetConfig, NoiseConfig, TrainConfig
+from .data import load_leukemia_case_study
+from .errors import ReproError
+from .nn import save_network, train_paper_network
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if not hasattr(args, "handler"):
+        parser.print_help()
+        return 2
+    try:
+        return args.handler(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fannet",
+        description="FANNet: formal analysis of NN noise tolerance, "
+        "training bias and input sensitivity (DATE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers()
+
+    run = sub.add_parser("run", help="full case-study pipeline")
+    run.add_argument("--ceiling", type=int, default=60, help="tolerance search ceiling")
+    run.add_argument("--extract-at", type=int, default=None, help="P3 extraction range")
+    run.add_argument("--probe", action="store_true", help="single-node sensitivity probes")
+    run.add_argument("--json", type=Path, default=None, help="write the report as JSON")
+    run.set_defaults(handler=_cmd_run)
+
+    train = sub.add_parser("train", help="train the case-study network")
+    train.add_argument("output", type=Path, help="where to save the network JSON")
+    train.add_argument("--seed", type=int, default=7)
+    train.set_defaults(handler=_cmd_train)
+
+    translate = sub.add_parser("translate", help="emit the SMV model for a test input")
+    translate.add_argument("--input-index", type=int, default=0)
+    translate.add_argument("--noise", type=int, default=1, help="noise range ±P")
+    translate.add_argument("--output", type=Path, default=None)
+    translate.set_defaults(handler=_cmd_translate)
+
+    check = sub.add_parser("check", help="model-check an .smv file")
+    check.add_argument("model", type=Path)
+    check.add_argument(
+        "--engine", choices=("explicit", "bdd", "bmc", "induction"), default="explicit"
+    )
+    check.add_argument("--bound", type=int, default=20, help="BMC/induction bound")
+    check.set_defaults(handler=_cmd_check)
+
+    statespace = sub.add_parser("statespace", help="Fig.-3 state-space counts")
+    statespace.add_argument("--noise", type=int, default=1)
+    statespace.add_argument("--input-index", type=int, default=0)
+    statespace.set_defaults(handler=_cmd_statespace)
+
+    tolerance = sub.add_parser("tolerance", help="noise-tolerance search")
+    tolerance.add_argument("--ceiling", type=int, default=60)
+    tolerance.add_argument(
+        "--schedule", choices=("binary", "paper"), default="binary"
+    )
+    tolerance.set_defaults(handler=_cmd_tolerance)
+
+    return parser
+
+
+def _trained_case_study():
+    from .nn import quantize_network
+
+    case_study = load_leukemia_case_study()
+    result = train_paper_network(case_study.train.features, case_study.train.labels)
+    return case_study, result.network, quantize_network(result.network)
+
+
+def _cmd_run(args) -> int:
+    from .core import run_case_study
+
+    fannet, report = run_case_study(
+        search_ceiling=args.ceiling,
+        extraction_percent=args.extract_at,
+        probe_sensitivity=args.probe,
+    )
+    print(report.summary())
+    if args.json is not None:
+        payload = {
+            "tolerance": fig4_tolerance_series(report.tolerance),
+            "bias": fig4_bias_series(report.bias),
+            "sensitivity": fig4_sensitivity_series(report.sensitivity),
+            "accuracy": {
+                "train": report.train_accuracy,
+                "test": report.test_accuracy,
+            },
+        }
+        args.json.write_text(json.dumps(payload, indent=2))
+        print(f"\nJSON report written to {args.json}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    case_study = load_leukemia_case_study()
+    result = train_paper_network(
+        case_study.train.features,
+        case_study.train.labels,
+        TrainConfig(seed=args.seed),
+    )
+    save_network(result.network, args.output)
+    test_accuracy = float(
+        (result.network.predict(np.asarray(case_study.test.features, dtype=float))
+         == case_study.test.labels).mean()
+    )
+    print(
+        f"trained: {result.train_accuracy:.2%} train, {test_accuracy:.2%} test; "
+        f"saved to {args.output}"
+    )
+    return 0
+
+
+def _cmd_translate(args) -> int:
+    from .core import network_noise_module
+    from .smv import print_module
+
+    case_study, _, quantized = _trained_case_study()
+    x = np.asarray(case_study.test.features[args.input_index])
+    label = int(case_study.test.labels[args.input_index])
+    module, _ = network_noise_module(
+        quantized, x, label, NoiseConfig(max_percent=args.noise)
+    )
+    text = print_module(module)
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"SMV model written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from .mc import BddChecker, BmcChecker, ExplicitChecker, KInduction
+    from .smv import parse_module
+
+    module = parse_module(args.model.read_text())
+    engines = {
+        "explicit": lambda: ExplicitChecker(),
+        "bdd": lambda: BddChecker(),
+        "bmc": lambda: BmcChecker(max_bound=args.bound),
+        "induction": lambda: KInduction(max_k=args.bound),
+    }
+    engine = engines[args.engine]()
+    if not module.invarspecs:
+        print("no INVARSPEC properties in the model")
+        return 1
+    failures = 0
+    for spec in module.invarspecs:
+        result = engine.check_invariant(module, spec)
+        print(f"[{result.verdict.value.upper()}] {result.property_text}")
+        if result.violated and result.counterexample is not None:
+            print(result.counterexample.format())
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_statespace(args) -> int:
+    from .core.translate import dataset_fsm_module, noise_model_state_counts
+    from .fsm import TransitionSystem, count_states_and_transitions
+
+    case_study, _, quantized = _trained_case_study()
+    x = np.asarray(case_study.test.features[args.input_index])
+    label = int(case_study.test.labels[args.input_index])
+
+    no_noise = dataset_fsm_module(quantized, case_study.test.features)
+    base = count_states_and_transitions(TransitionSystem(no_noise))
+    print(f"no noise      : {base[0]} states, {base[1]} transitions")
+
+    noisy = noise_model_state_counts(
+        quantized, x, label, NoiseConfig(min_percent=0, max_percent=args.noise)
+    )
+    print(f"noise [0,{args.noise}]%  : {noisy[0]} states, {noisy[1]} transitions")
+    return 0
+
+
+def _cmd_tolerance(args) -> int:
+    from .core import NoiseToleranceAnalysis
+
+    case_study, _, quantized = _trained_case_study()
+    analysis = NoiseToleranceAnalysis(
+        quantized, search_ceiling=args.ceiling, schedule=args.schedule
+    )
+    report = analysis.analyze(case_study.test)
+    print(f"noise tolerance: ±{report.tolerance}%")
+    for entry in report.per_input:
+        flip = (
+            f"flips at ±{entry.min_flip_percent}% -> L{entry.flipped_to}"
+            if entry.min_flip_percent is not None
+            else f"robust to ±{args.ceiling}%"
+        )
+        print(f"  test[{entry.index}] (L{entry.true_label}): {flip}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

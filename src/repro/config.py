@@ -1,0 +1,122 @@
+"""Run-wide configuration objects.
+
+Keeping every tunable in one dataclass makes experiment scripts and
+benchmarks self-documenting: each records the exact configuration it ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training recipe.  Defaults mirror the paper (§V-A, footnote 1):
+
+    MATLAB, learning rate 0.5 for the first 40 epochs then 0.2 for the
+    remaining 40, reaching 100 % training and 94.12 % testing accuracy.
+    """
+
+    hidden_units: int = 20
+    epochs_phase1: int = 40
+    epochs_phase2: int = 40
+    lr_phase1: float = 0.5
+    lr_phase2: float = 0.2
+    momentum: float = 0.0
+    seed: int = 7
+    batch_size: int = 0  # 0 means full batch
+
+    def __post_init__(self):
+        if self.hidden_units <= 0:
+            raise ConfigError("hidden_units must be positive")
+        if self.epochs_phase1 < 0 or self.epochs_phase2 < 0:
+            raise ConfigError("epoch counts must be non-negative")
+        if self.lr_phase1 <= 0 or self.lr_phase2 <= 0:
+            raise ConfigError("learning rates must be positive")
+        if self.batch_size < 0:
+            raise ConfigError("batch_size must be >= 0 (0 = full batch)")
+
+    @property
+    def total_epochs(self) -> int:
+        return self.epochs_phase1 + self.epochs_phase2
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Noise model parameters for the formal analysis.
+
+    The paper injects *relative* integer-percent noise independently on
+    every input node: ``x'_i = x_i (100 + p_i)/100`` with
+    ``p_i ∈ [-max_percent, +max_percent] ∩ Z``.
+    """
+
+    max_percent: int = 40
+    min_percent: int | None = None  # None means symmetric: -max_percent
+    step: int = 1
+
+    def __post_init__(self):
+        if self.max_percent < 0:
+            raise ConfigError("max_percent must be non-negative")
+        if self.step <= 0:
+            raise ConfigError("step must be positive")
+        low = self.low
+        if low > self.max_percent:
+            raise ConfigError("empty noise range")
+
+    @property
+    def low(self) -> int:
+        return -self.max_percent if self.min_percent is None else self.min_percent
+
+    @property
+    def high(self) -> int:
+        return self.max_percent
+
+    def percent_values(self) -> list[int]:
+        """All admissible signed noise percentages."""
+        return list(range(self.low, self.high + 1, self.step))
+
+    def vector_count(self, num_inputs: int) -> int:
+        """Size of the noise-vector space for ``num_inputs`` nodes."""
+        return len(self.percent_values()) ** num_inputs
+
+
+@dataclass(frozen=True)
+class VerifierConfig:
+    """Budgets and tolerances shared by the verification engines."""
+
+    node_budget: int = 2_000_000
+    time_budget_s: float = 600.0
+    lp_feasibility_tol: float = 1e-9
+    exact_recheck: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.node_budget <= 0:
+            raise ConfigError("node_budget must be positive")
+        if self.time_budget_s <= 0:
+            raise ConfigError("time_budget_s must be positive")
+
+
+@dataclass(frozen=True)
+class FannetConfig:
+    """Top-level configuration for the FANNet pipeline."""
+
+    train: TrainConfig = field(default_factory=TrainConfig)
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    verifier: VerifierConfig = field(default_factory=VerifierConfig)
+    num_features: int = 5
+    input_scale: int = 50
+    weight_scale: int = 1000
+
+    def __post_init__(self):
+        if self.num_features <= 0:
+            raise ConfigError("num_features must be positive")
+        if self.input_scale <= 0:
+            raise ConfigError("input_scale must be positive")
+        if self.weight_scale <= 0:
+            raise ConfigError("weight_scale must be positive")
+
+    def to_dict(self) -> dict:
+        return asdict(self)

@@ -1,0 +1,65 @@
+"""Classification-boundary estimation (paper §V-C.2).
+
+The per-input minimal flipping noise is a proxy for the input's distance
+to the decision boundary: *"inputs closer to the classification boundary
+were observed to be highly susceptible to input noise … for other
+inputs, noise even as large as 50 % of the input did not trigger
+misclassification"*.  This module turns the tolerance profile into that
+boundary picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tolerance import ToleranceReport
+
+
+@dataclass
+class BoundaryReport:
+    """Boundary-proximity classification of the test inputs."""
+
+    near_boundary: list[int] = field(default_factory=list)  # input indices
+    far_from_boundary: list[int] = field(default_factory=list)
+    interior: list[int] = field(default_factory=list)
+    near_threshold: int = 0
+    far_threshold: int = 0
+    profile: dict[int, int | None] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"Boundary estimate (near: flips within ±{self.near_threshold}%, "
+            f"far: robust beyond ±{self.far_threshold}%):"
+        ]
+        lines.append(f"  near boundary : {sorted(self.near_boundary)}")
+        lines.append(f"  intermediate  : {sorted(self.interior)}")
+        lines.append(f"  far (robust)  : {sorted(self.far_from_boundary)}")
+        return "\n".join(lines)
+
+
+class BoundaryEstimation:
+    """Derives the boundary picture from a tolerance report."""
+
+    def __init__(self, near_threshold: int = 15, far_threshold: int = 50):
+        self.near_threshold = near_threshold
+        self.far_threshold = far_threshold
+
+    def analyze(self, tolerance: ToleranceReport) -> BoundaryReport:
+        report = BoundaryReport(
+            near_threshold=self.near_threshold,
+            far_threshold=self.far_threshold,
+        )
+        for entry in tolerance.per_input:
+            report.profile[entry.index] = entry.min_flip_percent
+            if entry.min_flip_percent is None:
+                if tolerance.search_ceiling >= self.far_threshold:
+                    report.far_from_boundary.append(entry.index)
+                else:
+                    report.interior.append(entry.index)
+            elif entry.min_flip_percent <= self.near_threshold:
+                report.near_boundary.append(entry.index)
+            elif entry.min_flip_percent > self.far_threshold:
+                report.far_from_boundary.append(entry.index)
+            else:
+                report.interior.append(entry.index)
+        return report

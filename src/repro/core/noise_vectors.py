@@ -1,0 +1,105 @@
+"""Adversarial noise-vector extraction — the P3 loop (paper §IV-C).
+
+Collects, per input, the array ``e`` of unique noise vectors that flip
+the prediction, annotated with the wrong label each vector produces.
+The census feeds both the training-bias analysis (which direction do
+flips go?) and the input-sensitivity analysis (which nodes carry signed
+noise?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import NoiseConfig, VerifierConfig
+from ..data.dataset import Dataset
+from ..nn.quantize import QuantizedNetwork
+from ..verify import NoiseVectorCollector, build_query
+
+
+@dataclass
+class InputNoiseVectors:
+    """All extracted vectors for one dataset input."""
+
+    index: int
+    true_label: int
+    vectors: list[tuple[int, ...]] = field(default_factory=list)
+    flipped_to: list[int] = field(default_factory=list)
+    exhausted: bool = True
+
+    def __len__(self):
+        return len(self.vectors)
+
+
+@dataclass
+class ExtractionReport:
+    """Dataset-wide extraction outcome at one noise range."""
+
+    noise_percent: int
+    per_input: list[InputNoiseVectors] = field(default_factory=list)
+
+    @property
+    def total_vectors(self) -> int:
+        return sum(len(entry) for entry in self.per_input)
+
+    def vulnerable_inputs(self) -> list[InputNoiseVectors]:
+        return [entry for entry in self.per_input if entry.vectors]
+
+    def all_vectors_with_labels(self):
+        """Yield (input_index, true_label, vector, wrong_label) tuples."""
+        for entry in self.per_input:
+            for vector, wrong in zip(entry.vectors, entry.flipped_to):
+                yield entry.index, entry.true_label, vector, wrong
+
+
+class NoiseVectorExtraction:
+    """Runs the P3 loop over a dataset at a fixed noise range."""
+
+    def __init__(
+        self,
+        network: QuantizedNetwork,
+        config: VerifierConfig | None = None,
+        per_input_limit: int | None = None,
+        exhaustive_cutoff: int = 8_000_000,
+    ):
+        self.network = network
+        self.config = config or VerifierConfig()
+        self.per_input_limit = per_input_limit
+        self.collector = NoiseVectorCollector(
+            self.config, exhaustive_cutoff=exhaustive_cutoff
+        )
+
+    def extract_for_input(
+        self, x, true_label: int, noise_percent: int, index: int = -1
+    ) -> InputNoiseVectors:
+        """Unique adversarial vectors for one input at ``±noise_percent``."""
+        query = build_query(
+            self.network, x, true_label, NoiseConfig(max_percent=noise_percent)
+        )
+        limit = self.per_input_limit
+        if query.noise_space_size() > self.collector.exhaustive_cutoff and limit is None:
+            limit = 1000  # solver-driven extraction needs a bound
+        collected = self.collector.collect(query, limit=limit)
+        flipped = [query.predict_single(vector) for vector in collected.vectors]
+        return InputNoiseVectors(
+            index=index,
+            true_label=true_label,
+            vectors=list(collected.vectors),
+            flipped_to=flipped,
+            exhausted=collected.exhausted,
+        )
+
+    def extract(self, dataset: Dataset, noise_percent: int) -> ExtractionReport:
+        """P3 extraction over every correctly-classified input."""
+        report = ExtractionReport(noise_percent=noise_percent)
+        for index in range(dataset.num_samples):
+            x = np.asarray(dataset.features[index])
+            true_label = int(dataset.labels[index])
+            if self.network.predict(x) != true_label:
+                continue
+            report.per_input.append(
+                self.extract_for_input(x, true_label, noise_percent, index=index)
+            )
+        return report

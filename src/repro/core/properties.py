@@ -1,0 +1,64 @@
+"""The paper's temporal properties P1, P2, P3 (Fig. 2) as SMV expressions.
+
+- **P1** ``OC = Sx`` — functional validation of the translated model,
+  checked without noise.
+- **P2** ``OCn = Sx`` — correctness under noise; counterexamples to P2
+  are the adversarial noise vectors.
+- **P3** ``(OCn = Sx) | !e`` — "the output is correct OR the noise vector
+  is one we have already recorded"; its counterexamples are *fresh*
+  adversarial vectors, driving the extraction loop.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..smv.ast import BinOp, Expr, Ident, IntLit, UnaryOp
+
+
+def p1_functional_property(true_label: int) -> Expr:
+    """P1: the translated model computes the dataset label (no noise)."""
+    return BinOp("=", Ident("oc"), IntLit(true_label))
+
+
+def p2_noise_property(true_label: int) -> Expr:
+    """P2: correctness under noise, vacuous in the initial phase."""
+    return BinOp(
+        "|",
+        BinOp("=", Ident("phase"), Ident("initial")),
+        BinOp("=", Ident("oc"), IntLit(true_label)),
+    )
+
+
+def noise_vector_equals(vector: Sequence[int]) -> Expr:
+    """``p0 = v0 & p1 = v1 & …`` — membership test for one noise vector."""
+    expr: Expr | None = None
+    for index, value in enumerate(vector):
+        clause = BinOp("=", Ident(f"p{index}"), IntLit(int(value)))
+        expr = clause if expr is None else BinOp("&", expr, clause)
+    if expr is None:
+        raise ValueError("empty noise vector")
+    return expr
+
+
+def p3_next_counterexample_property(
+    true_label: int, known_vectors: Sequence[Sequence[int]]
+) -> Expr:
+    """P3: ``(OCn = Sx) | e`` where ``e`` matches already-known vectors.
+
+    A counterexample must both misclassify *and* avoid every vector in
+    ``known_vectors`` — i.e. it is a new adversarial noise pattern.
+    """
+    correct = p2_noise_property(true_label)
+    membership: Expr | None = None
+    for vector in known_vectors:
+        clause = noise_vector_equals(vector)
+        membership = clause if membership is None else BinOp("|", membership, clause)
+    if membership is None:
+        return correct
+    return BinOp("|", correct, membership)
+
+
+def negation(expr: Expr) -> Expr:
+    """Logical negation helper for counterexample-driven loops."""
+    return UnaryOp("!", expr)

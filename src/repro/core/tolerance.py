@@ -1,0 +1,181 @@
+"""Noise-tolerance analysis (paper §IV-B, results §V-C.1).
+
+For every correctly-classified test input the analysis finds the minimal
+noise percentage ``(Δx)min`` whose range admits a misclassifying noise
+vector; the network's noise tolerance is the largest range below *all*
+of them.  The paper reports ±11 % for its trained network.
+
+Two search schedules are provided:
+
+- ``binary`` (default) — bisection on the range bound; each probe is one
+  complete verification query;
+- ``paper`` — the literal Fig.-2 loop: start large, shrink by one
+  percentage point whenever a counterexample exists, stop at the first
+  counterexample-free range.  Same answer, more queries; kept because it
+  is the methodology being reproduced (and benchmarked in E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import NoiseConfig, VerifierConfig
+from ..data.dataset import Dataset
+from ..errors import ConfigError
+from ..nn.quantize import QuantizedNetwork
+from ..verify import PortfolioVerifier, build_query
+from ..verify.result import VerificationResult
+
+
+@dataclass
+class InputTolerance:
+    """Per-input outcome of the tolerance search."""
+
+    index: int
+    true_label: int
+    min_flip_percent: int | None  # None: robust up to the search ceiling
+    witness: tuple[int, ...] | None
+    flipped_to: int | None
+    queries: int = 0
+
+    @property
+    def robust_at_ceiling(self) -> bool:
+        return self.min_flip_percent is None
+
+
+@dataclass
+class ToleranceReport:
+    """Aggregate tolerance result over a dataset."""
+
+    per_input: list[InputTolerance] = field(default_factory=list)
+    search_ceiling: int = 0
+    correctly_classified: int = 0
+    total_inputs: int = 0
+
+    @property
+    def tolerance(self) -> int | None:
+        """Largest ΔX with no counterexample for any input (paper: ±11)."""
+        flips = [
+            r.min_flip_percent
+            for r in self.per_input
+            if r.min_flip_percent is not None
+        ]
+        if not flips:
+            return self.search_ceiling
+        return min(flips) - 1
+
+    def misclassified_inputs_at(self, percent: int) -> list[InputTolerance]:
+        """Inputs with a counterexample within ``±percent``."""
+        return [
+            r
+            for r in self.per_input
+            if r.min_flip_percent is not None and r.min_flip_percent <= percent
+        ]
+
+    def misclassification_counts(self, percents: list[int]) -> dict[int, int]:
+        """Series for the Fig.-4 sweep: range → #vulnerable inputs."""
+        return {p: len(self.misclassified_inputs_at(p)) for p in percents}
+
+
+class NoiseToleranceAnalysis:
+    """Drives the P2 loop over a dataset."""
+
+    def __init__(
+        self,
+        network: QuantizedNetwork,
+        config: VerifierConfig | None = None,
+        verifier=None,
+        search_ceiling: int = 60,
+        schedule: str = "binary",
+    ):
+        if schedule not in ("binary", "paper"):
+            raise ConfigError("schedule must be 'binary' or 'paper'")
+        self.network = network
+        self.verifier = verifier or PortfolioVerifier(config or VerifierConfig())
+        self.search_ceiling = search_ceiling
+        self.schedule = schedule
+
+    # -- single input ----------------------------------------------------------
+
+    def min_flip_percent(self, x, true_label: int) -> InputTolerance:
+        """Smallest ±P admitting a counterexample for this input."""
+        if self.schedule == "binary":
+            return self._search_binary(x, true_label)
+        return self._search_paper(x, true_label)
+
+    def _verify_at(self, x, true_label: int, percent: int) -> VerificationResult:
+        query = build_query(
+            self.network, x, true_label, NoiseConfig(max_percent=percent)
+        )
+        return self.verifier.verify(query)
+
+    def _search_binary(self, x, true_label: int) -> InputTolerance:
+        low, high = 1, self.search_ceiling
+        best: VerificationResult | None = None
+        best_percent: int | None = None
+        queries = 0
+        while low <= high:
+            mid = (low + high) // 2
+            result = self._verify_at(x, true_label, mid)
+            queries += 1
+            if result.is_vulnerable:
+                best, best_percent = result, mid
+                high = mid - 1
+            else:
+                low = mid + 1
+        return InputTolerance(
+            index=-1,
+            true_label=true_label,
+            min_flip_percent=best_percent,
+            witness=best.witness if best else None,
+            flipped_to=best.predicted_label if best else None,
+            queries=queries,
+        )
+
+    def _search_paper(self, x, true_label: int) -> InputTolerance:
+        """Fig.-2 literal loop: reduce ΔX while counterexamples exist."""
+        percent = self.search_ceiling
+        last_witness: VerificationResult | None = None
+        last_flip: int | None = None
+        queries = 0
+        while percent >= 1:
+            result = self._verify_at(x, true_label, percent)
+            queries += 1
+            if not result.is_vulnerable:
+                break
+            last_witness, last_flip = result, percent
+            percent -= 1
+        return InputTolerance(
+            index=-1,
+            true_label=true_label,
+            min_flip_percent=last_flip,
+            witness=last_witness.witness if last_witness else None,
+            flipped_to=last_witness.predicted_label if last_witness else None,
+            queries=queries,
+        )
+
+    # -- dataset ------------------------------------------------------------------
+
+    def analyze(self, dataset: Dataset) -> ToleranceReport:
+        """Run the tolerance search over every correctly-classified input.
+
+        The paper considers only correctly-classified inputs *"for fair
+        analysis of the impact of noise"* — misclassified-at-zero-noise
+        inputs carry no tolerance information.
+        """
+        report = ToleranceReport(
+            search_ceiling=self.search_ceiling,
+            total_inputs=dataset.num_samples,
+        )
+        for index in range(dataset.num_samples):
+            x = np.asarray(dataset.features[index])
+            true_label = int(dataset.labels[index])
+            if self.network.predict(x) != true_label:
+                continue  # excluded, as in the paper
+            report.correctly_classified += 1
+            result = self.min_flip_percent(x, true_label)
+            result.index = index
+            report.per_input.append(result)
+        return report

@@ -1,0 +1,81 @@
+"""Dataset containers.
+
+Label convention (fixed across the whole library, matching the paper's
+bias finding): class **L1 = ALL** (Acute Lymphoblastic Leukemia, the
+majority class, ~70 % of training samples) and **L0 = AML** (Acute
+Myeloid Leukemia, the minority).  The paper observes that all noise-driven
+misclassifications flip L0 → L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+
+LABEL_AML = 0  # L0, minority
+LABEL_ALL = 1  # L1, majority
+
+CLASS_NAMES = {LABEL_AML: "AML (L0)", LABEL_ALL: "ALL (L1)"}
+
+
+@dataclass
+class Dataset:
+    """Feature matrix plus integer labels."""
+
+    features: np.ndarray  # shape (n_samples, n_features)
+    labels: np.ndarray  # shape (n_samples,)
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.features.ndim != 2:
+            raise DataError("features must be 2-D")
+        if self.labels.ndim != 1:
+            raise DataError("labels must be 1-D")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise DataError(
+                f"{self.features.shape[0]} feature rows vs {self.labels.shape[0]} labels"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    def class_counts(self) -> dict[int, int]:
+        """Samples per label."""
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def class_share(self, label: int) -> float:
+        """Fraction of samples carrying ``label``."""
+        if self.num_samples == 0:
+            raise DataError("empty dataset has no class shares")
+        return float((self.labels == label).mean())
+
+    def subset(self, indices) -> "Dataset":
+        """New dataset restricted to ``indices`` (row order preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.features[indices], self.labels[indices])
+
+
+@dataclass
+class LabelledSplit:
+    """A train/test split of one underlying dataset."""
+
+    train: Dataset
+    test: Dataset
+
+    def __post_init__(self):
+        if self.train.num_features != self.test.num_features:
+            raise DataError("train and test must agree on feature count")
+
+    @property
+    def num_features(self) -> int:
+        return self.train.num_features

@@ -1,0 +1,57 @@
+"""Preprocessing: column selection and integer scaling.
+
+The formal model works over integer inputs (Fig. 3 declares ``i ∈ Z``),
+so after mRMR selection each gene is affinely mapped from its *training*
+range onto ``[1, input_scale] ∩ Z``.  The lower end is 1, not 0: the
+paper's noise channel is relative (``x(100+p)/100``), and a zero input
+would be a node noise cannot touch, silently excluding it from the
+sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+
+
+def select_columns(features: np.ndarray, indices: list[int]) -> np.ndarray:
+    """Restrict ``features`` to the given column indices, in order."""
+    features = np.asarray(features)
+    if features.ndim != 2:
+        raise DataError("features must be 2-D")
+    for index in indices:
+        if not 0 <= index < features.shape[1]:
+            raise DataError(f"column index {index} out of range")
+    return features[:, indices]
+
+
+@dataclass(frozen=True)
+class IntegerScaler:
+    """Per-column affine map onto ``[1, scale]`` fitted on training data."""
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+    scale: int
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Map to integers; values outside the fitted range are clipped."""
+        features = np.asarray(features, dtype=np.float64)
+        span = np.maximum(self.maximum - self.minimum, 1e-12)
+        unit = (features - self.minimum) / span
+        scaled = 1 + unit * (self.scale - 1)
+        return np.clip(np.round(scaled), 1, self.scale).astype(np.int64)
+
+
+def scale_to_integers(train: np.ndarray, scale: int = 50) -> tuple[IntegerScaler, np.ndarray]:
+    """Fit an :class:`IntegerScaler` on ``train`` and return it with the
+    transformed training matrix."""
+    train = np.asarray(train, dtype=np.float64)
+    if train.ndim != 2 or train.shape[0] == 0:
+        raise DataError("train must be a non-empty 2-D matrix")
+    if scale < 2:
+        raise DataError("scale must be at least 2")
+    scaler = IntegerScaler(train.min(axis=0), train.max(axis=0), scale)
+    return scaler, scaler.transform(train)

@@ -1,0 +1,22 @@
+"""FSM semantics for SMV modules.
+
+Compiles a type-checked :class:`repro.smv.SmvModule` into an explicit
+transition system: states are assignments of the finite variable domains,
+non-determinism comes from ``{…}`` set expressions and unassigned
+variables.  This is the object Fig. 3 of the paper counts states and
+transitions of.
+"""
+
+from .evaluator import evaluate_expression, evaluate_choices
+from .transition_system import State, TransitionSystem
+from .explore import ExplorationResult, explore, count_states_and_transitions
+
+__all__ = [
+    "evaluate_expression",
+    "evaluate_choices",
+    "TransitionSystem",
+    "State",
+    "ExplorationResult",
+    "explore",
+    "count_states_and_transitions",
+]

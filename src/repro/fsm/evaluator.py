@@ -1,0 +1,129 @@
+"""Expression evaluation over concrete states.
+
+SMV integer semantics: division truncates toward zero and ``mod`` is the
+matching remainder (``a = (a/b)*b + (a mod b)``), exactly as in nuXmv's
+C-style integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import ModelCheckingError
+from ..smv.ast import (
+    BinOp,
+    BoolLit,
+    Call,
+    CaseExpr,
+    Expr,
+    Ident,
+    IntLit,
+    SetExpr,
+    SmvModule,
+    UnaryOp,
+)
+
+
+def _truncated_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ModelCheckingError("division by zero in SMV expression")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def evaluate_expression(expr: Expr, state: Mapping[str, object], module: SmvModule):
+    """Evaluate ``expr`` in ``state`` (variable name → value).
+
+    DEFINE symbols are expanded on demand; enum symbols evaluate to their
+    own name (enum values are represented as strings).
+    """
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, BoolLit):
+        return expr.value
+    if isinstance(expr, Ident):
+        name = expr.name
+        if name in state:
+            return state[name]
+        if name in module.defines:
+            return evaluate_expression(module.defines[name], state, module)
+        # Enum literal: evaluates to itself.
+        return name
+    if isinstance(expr, UnaryOp):
+        value = evaluate_expression(expr.operand, state, module)
+        if expr.op == "-":
+            return -value
+        return not value
+    if isinstance(expr, BinOp):
+        left = evaluate_expression(expr.left, state, module)
+        # Short-circuit boolean forms.
+        if expr.op == "&":
+            return bool(left) and bool(evaluate_expression(expr.right, state, module))
+        if expr.op == "|":
+            return bool(left) or bool(evaluate_expression(expr.right, state, module))
+        if expr.op == "->":
+            return (not left) or bool(evaluate_expression(expr.right, state, module))
+        right = evaluate_expression(expr.right, state, module)
+        if expr.op == "<->":
+            return bool(left) == bool(right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return _truncated_div(left, right)
+        if expr.op == "mod":
+            return left - _truncated_div(left, right) * right
+        if expr.op == "=":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+        raise ModelCheckingError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Call):
+        args = [evaluate_expression(a, state, module) for a in expr.args]
+        if expr.func == "max":
+            return max(args)
+        if expr.func == "min":
+            return min(args)
+        if expr.func == "abs":
+            return abs(args[0])
+        raise ModelCheckingError(f"unknown function {expr.func!r}")
+    if isinstance(expr, CaseExpr):
+        for guard, result in expr.branches:
+            if evaluate_expression(guard, state, module):
+                return evaluate_expression(result, state, module)
+        raise ModelCheckingError("no case branch matched (missing TRUE guard?)")
+    if isinstance(expr, SetExpr):
+        raise ModelCheckingError(
+            "set expression reached value context; use evaluate_choices"
+        )
+    raise ModelCheckingError(f"unknown expression node {type(expr).__name__}")
+
+
+def evaluate_choices(expr: Expr, state: Mapping[str, object], module: SmvModule) -> list:
+    """Evaluate an assignment right-hand side to its list of choices.
+
+    Set expressions (possibly nested in ``case`` results) produce multiple
+    values — the source of non-determinism in the FSM.
+    """
+    if isinstance(expr, SetExpr):
+        choices = []
+        for item in expr.items:
+            choices.extend(evaluate_choices(item, state, module))
+        return choices
+    if isinstance(expr, CaseExpr):
+        for guard, result in expr.branches:
+            if evaluate_expression(guard, state, module):
+                return evaluate_choices(result, state, module)
+        raise ModelCheckingError("no case branch matched (missing TRUE guard?)")
+    return [evaluate_expression(expr, state, module)]

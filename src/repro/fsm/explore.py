@@ -1,0 +1,80 @@
+"""Reachability exploration of a transition system.
+
+Produces the counts the paper quotes in Fig. 3 (states and transitions of
+the NN FSM with and without noise) and underlies the explicit-state
+invariant checker.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import StateSpaceLimitError
+from .transition_system import State, TransitionSystem
+
+
+@dataclass
+class ExplorationResult:
+    """Reachable-state summary.
+
+    ``transitions`` counts ordered reachable-state pairs (s, s') with
+    s → s', i.e. edges of the reachable sub-graph, matching how Fig. 3
+    reports FSM size.
+    """
+
+    states: set[State] = field(default_factory=set)
+    transitions: int = 0
+    initial_count: int = 0
+    depth: int = 0
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+
+def explore(
+    system: TransitionSystem,
+    max_states: int = 1_000_000,
+    count_transitions: bool = True,
+) -> ExplorationResult:
+    """Breadth-first reachability from all initial states."""
+    result = ExplorationResult()
+    frontier: deque[tuple[State, int]] = deque()
+
+    for state in system.initial_states():
+        if state not in result.states:
+            result.states.add(state)
+            frontier.append((state, 0))
+            result.initial_count += 1
+            if len(result.states) > max_states:
+                raise StateSpaceLimitError(
+                    f"state budget {max_states} exceeded while seeding"
+                )
+
+    while frontier:
+        state, depth = frontier.popleft()
+        result.depth = max(result.depth, depth)
+        seen_here: set[State] = set()
+        for successor in system.successors(state):
+            if successor in seen_here:
+                continue
+            seen_here.add(successor)
+            if count_transitions:
+                result.transitions += 1
+            if successor not in result.states:
+                result.states.add(successor)
+                if len(result.states) > max_states:
+                    raise StateSpaceLimitError(
+                        f"state budget {max_states} exceeded"
+                    )
+                frontier.append((successor, depth + 1))
+    return result
+
+
+def count_states_and_transitions(
+    system: TransitionSystem, max_states: int = 1_000_000
+) -> tuple[int, int]:
+    """The (states, transitions) pair reported in Fig. 3."""
+    result = explore(system, max_states=max_states, count_transitions=True)
+    return result.state_count, result.transitions

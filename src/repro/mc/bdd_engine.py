@@ -1,0 +1,272 @@
+"""BDD-based symbolic invariant checking.
+
+State variables are binary-encoded; current/next copies of each bit sit
+on adjacent BDD levels (the interleaved order that keeps transition
+relations small).  Reachability is the classic image-computation fixpoint
+with frontier "onion rings" retained for counterexample reconstruction —
+the engine family the paper describes as PSPACE-complete but
+memory-bound (§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..bdd import BddManager
+from ..errors import ModelCheckingError
+from ..smv.ast import Expr, SmvModule
+from ..smv.printer import print_expression
+from ..smv.typecheck import check_module
+from .result import CheckResult, Trace, Verdict
+from .symbolic import FormulaAlgebra, ValueSetCompiler
+
+
+class _BddAlgebra(FormulaAlgebra[int]):
+    """Algebra producing BDD nodes; ``frame`` selects current (0) / next (1)."""
+
+    def __init__(self, engine: "BddChecker", frame: int):
+        self.engine = engine
+        self.frame = frame
+
+    def true(self) -> int:
+        return 1
+
+    def false(self) -> int:
+        return 0
+
+    def conj(self, a: int, b: int) -> int:
+        return self.engine.manager.apply_and(a, b)
+
+    def disj(self, a: int, b: int) -> int:
+        return self.engine.manager.apply_or(a, b)
+
+    def neg(self, a: int) -> int:
+        return self.engine.manager.apply_not(a)
+
+    def atom(self, var: str, value: Hashable) -> int:
+        return self.engine.value_bdd(var, value, self.frame)
+
+
+class BddChecker:
+    """Symbolic reachability checker."""
+
+    name = "bdd"
+
+    def __init__(self, max_iterations: int = 100_000, max_values: int = 4096):
+        self.max_iterations = max_iterations
+        self.max_values = max_values
+        self.manager = BddManager()
+        self._bit_offset: dict[str, int] = {}
+        self._bit_width: dict[str, int] = {}
+        self._domains: dict[str, list] = {}
+
+    # -- encoding ------------------------------------------------------------
+
+    def _allocate_bits(self, module: SmvModule) -> None:
+        offset = 0
+        for name, spec in module.variables.items():
+            domain = spec.values()
+            width = max(1, (len(domain) - 1).bit_length())
+            self._domains[name] = domain
+            self._bit_offset[name] = offset
+            self._bit_width[name] = width
+            offset += 2 * width  # interleaved current/next
+        self._total_levels = offset
+
+    def _bit_level(self, var: str, bit: int, frame: int) -> int:
+        return self._bit_offset[var] + 2 * bit + frame
+
+    def value_bdd(self, var: str, value, frame: int) -> int:
+        """BDD of ``var(frame) = value`` via its binary index encoding."""
+        domain = self._domains[var]
+        try:
+            index = domain.index(value)
+        except ValueError:
+            raise ModelCheckingError(
+                f"value {value!r} outside the domain of {var!r}"
+            ) from None
+        result = 1
+        for bit in range(self._bit_width[var]):
+            level = self._bit_level(var, bit, frame)
+            literal = (
+                self.manager.var(level).node
+                if (index >> bit) & 1
+                else self.manager.nvar(level).node
+            )
+            result = self.manager.apply_and(result, literal)
+        return result
+
+    def _domain_value_set(self, var: str) -> set:
+        cache = getattr(self, "_domain_value_cache", None)
+        if cache is None:
+            cache = self._domain_value_cache = {}
+        if var not in cache:
+            cache[var] = set(self._domains[var])
+        return cache[var]
+
+    def _domain_bdd(self, var: str, frame: int) -> int:
+        """Disjunction over all legal values (excludes unused encodings)."""
+        result = 0
+        for value in self._domains[var]:
+            result = self.manager.apply_or(result, self.value_bdd(var, value, frame))
+        return result
+
+    # -- main ---------------------------------------------------------------------
+
+    def check_invariant(self, module: SmvModule, prop: Expr) -> CheckResult:
+        """Fixpoint reachability; exact like the explicit engine."""
+        check_module(module)
+        self.manager = BddManager()
+        self._bit_offset.clear()
+        self._bit_width.clear()
+        self._domains.clear()
+        self._allocate_bits(module)
+
+        current_algebra = _BddAlgebra(self, frame=0)
+        next_algebra = _BddAlgebra(self, frame=1)
+        compiler = ValueSetCompiler(module, current_algebra, self.max_values)
+
+        # INIT over current-frame bits.
+        init = 1
+        for name in module.variables:
+            init_expr = module.assigns.init.get(name)
+            if init_expr is None:
+                init = self.manager.apply_and(init, self._domain_bdd(name, 0))
+                continue
+            value_set = compiler.compile(init_expr)
+            options = 0
+            for value, guard in value_set.items():
+                if value not in self._domain_value_set(name):
+                    continue  # overflow behind an unreachable guard
+                options = self.manager.apply_or(
+                    options,
+                    self.manager.apply_and(self.value_bdd(name, value, 0), guard),
+                )
+            init = self.manager.apply_and(init, options)
+
+        # TRANS over current → next bits.
+        trans = 1
+        for name in module.variables:
+            next_expr = module.assigns.next.get(name)
+            if next_expr is None:
+                trans = self.manager.apply_and(trans, self._domain_bdd(name, 1))
+                continue
+            value_set = compiler.compile(next_expr)
+            options = 0
+            for value, guard in value_set.items():
+                if value not in self._domain_value_set(name):
+                    continue  # overflow behind an unreachable guard
+                options = self.manager.apply_or(
+                    options,
+                    self.manager.apply_and(self.value_bdd(name, value, 1), guard),
+                )
+            trans = self.manager.apply_and(trans, options)
+
+        good = compiler.compile_bool(prop)
+        bad = self.manager.apply_not(good)
+
+        current_levels = [
+            self._bit_level(name, bit, 0)
+            for name in module.variables
+            for bit in range(self._bit_width[name])
+        ]
+        rename_next_to_current = {
+            self._bit_level(name, bit, 1): self._bit_level(name, bit, 0)
+            for name in module.variables
+            for bit in range(self._bit_width[name])
+        }
+
+        # Onion-ring fixpoint.
+        rings: list[int] = [init]
+        reached = init
+        iterations = 0
+        while True:
+            violation = self.manager.apply_and(rings[-1], bad)
+            if violation != 0:
+                trace = self._rebuild_trace(
+                    module, rings, violation, trans, rename_next_to_current,
+                    current_levels,
+                )
+                return CheckResult(
+                    Verdict.VIOLATED,
+                    property_text=print_expression(prop),
+                    counterexample=trace,
+                    engine=self.name,
+                    states_explored=len(rings),
+                )
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise ModelCheckingError("BDD fixpoint iteration budget exceeded")
+            image = self.manager.rename(
+                self.manager.exists(
+                    current_levels, self.manager.apply_and(trans, reached)
+                ),
+                rename_next_to_current,
+            )
+            new = self.manager.apply_and(image, self.manager.apply_not(reached))
+            if new == 0:
+                return CheckResult(
+                    Verdict.HOLDS,
+                    property_text=print_expression(prop),
+                    engine=self.name,
+                    states_explored=len(rings),
+                )
+            rings.append(new)
+            reached = self.manager.apply_or(reached, new)
+
+    # -- counterexample reconstruction -------------------------------------------
+
+    def _state_bdd(self, module: SmvModule, state: dict[str, object], frame: int) -> int:
+        result = 1
+        for name, value in state.items():
+            result = self.manager.apply_and(
+                result, self.value_bdd(name, value, frame)
+            )
+        return result
+
+    def _pick_state(self, module: SmvModule, set_bdd: int) -> dict[str, object]:
+        """Decode one concrete state out of a non-empty state set."""
+        levels = [
+            self._bit_level(name, bit, 0)
+            for name in module.variables
+            for bit in range(self._bit_width[name])
+        ]
+        assignment = next(self.manager.sat_iter(set_bdd, levels))
+        state: dict[str, object] = {}
+        for name in module.variables:
+            index = 0
+            for bit in range(self._bit_width[name]):
+                if assignment[self._bit_level(name, bit, 0)]:
+                    index |= 1 << bit
+            domain = self._domains[name]
+            if index >= len(domain):
+                raise ModelCheckingError("decoded state outside variable domain")
+            state[name] = domain[index]
+        return state
+
+    def _rebuild_trace(
+        self,
+        module: SmvModule,
+        rings: list[int],
+        violation: int,
+        trans: int,
+        rename_next_to_current: dict[int, int],
+        current_levels: list[int],
+    ) -> Trace:
+        states = [self._pick_state(module, violation)]
+        for ring_index in range(len(rings) - 2, -1, -1):
+            successor_next = self._rename_to_next(module, states[0])
+            predecessors = self.manager.apply_and(
+                rings[ring_index],
+                self.manager.exists(
+                    list(rename_next_to_current),
+                    self.manager.apply_and(trans, successor_next),
+                ),
+            )
+            if predecessors == 0:
+                raise ModelCheckingError("trace reconstruction lost the path")
+            states.insert(0, self._pick_state(module, predecessors))
+        return Trace(states)
+
+    def _rename_to_next(self, module: SmvModule, state: dict[str, object]) -> int:
+        return self._state_bdd(module, state, frame=1)

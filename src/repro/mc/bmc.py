@@ -1,0 +1,217 @@
+"""SAT-based bounded model checking.
+
+Unrolls the transition relation ``INIT(0) ∧ TRANS(0,1) ∧ … ∧ TRANS(k-1,k)``
+into CNF (one-hot state encoding, Tseitin transformation) and asks the
+CDCL core for a state at depth ``k`` violating the invariant.  The
+unrolling is incremental: each depth adds clauses to the same solver and
+the violated-property constraint is enabled via an assumption selector —
+the standard nuXmv/MiniSat BMC loop.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import ModelCheckingError
+from ..sat.formula import BoolExpr, Var
+from ..sat.solver import CdclSolver, SatStatus
+from ..sat.formula import TseitinEncoder
+from ..smv.ast import Expr, SmvModule
+from ..smv.printer import print_expression
+from ..smv.typecheck import check_module
+from .result import CheckResult, Trace, Verdict
+from .symbolic import FormulaAlgebra, ValueSetCompiler
+
+
+class StepAlgebra(FormulaAlgebra[BoolExpr]):
+    """Formula algebra whose atoms are ``var@step = value`` booleans."""
+
+    def __init__(self, step: int):
+        self.step = step
+
+    def true(self) -> BoolExpr:
+        from ..sat.formula import TRUE
+
+        return TRUE
+
+    def false(self) -> BoolExpr:
+        from ..sat.formula import FALSE
+
+        return FALSE
+
+    def conj(self, a, b):
+        from ..sat.formula import And
+
+        return And(a, b)
+
+    def disj(self, a, b):
+        from ..sat.formula import Or
+
+        return Or(a, b)
+
+    def neg(self, a):
+        from ..sat.formula import Not
+
+        return Not(a)
+
+    def atom(self, var: str, value: Hashable) -> BoolExpr:
+        return Var(atom_name(var, self.step, value))
+
+
+def atom_name(var: str, step: int, value) -> str:
+    return f"{var}@{step}={value!r}"
+
+
+class ModuleUnroller:
+    """Shared unrolling machinery for BMC and k-induction."""
+
+    def __init__(self, module: SmvModule, max_values: int = 4096):
+        check_module(module)
+        self.module = module
+        self.max_values = max_values
+        self.encoder = TseitinEncoder()
+        self.solver = CdclSolver()
+        self._steps_encoded: set[int] = set()
+        self._clause_cursor = 0
+
+    # -- encoding ---------------------------------------------------------------
+
+    def _flush_clauses(self) -> None:
+        """Move newly created CNF clauses into the solver."""
+        clauses = self.encoder.cnf.clauses
+        self.solver.ensure_vars(self.encoder.cnf.num_vars)
+        while self._clause_cursor < len(clauses):
+            self.solver.add_clause(clauses[self._clause_cursor])
+            self._clause_cursor += 1
+
+    def encode_state_skeleton(self, step: int) -> None:
+        """Exactly-one value per variable at ``step``."""
+        if step in self._steps_encoded:
+            return
+        self._steps_encoded.add(step)
+        for name, spec in self.module.variables.items():
+            literals = [
+                self.encoder.var_for(atom_name(name, step, value))
+                for value in spec.values()
+            ]
+            self.encoder.cnf.add_clause(literals)
+            for i in range(len(literals)):
+                for j in range(i + 1, len(literals)):
+                    self.encoder.cnf.add_clause([-literals[i], -literals[j]])
+        self._flush_clauses()
+
+    def encode_init(self, step: int = 0) -> None:
+        """INIT constraints at ``step`` (normally 0)."""
+        self.encode_state_skeleton(step)
+        compiler = ValueSetCompiler(self.module, StepAlgebra(step), self.max_values)
+        for name, expr in self.module.assigns.init.items():
+            self._assert_assignment(name, expr, compiler, target_step=step)
+
+    def encode_transition(self, step: int) -> None:
+        """TRANS constraints from ``step`` to ``step + 1``."""
+        self.encode_state_skeleton(step)
+        self.encode_state_skeleton(step + 1)
+        compiler = ValueSetCompiler(self.module, StepAlgebra(step), self.max_values)
+        for name, expr in self.module.assigns.next.items():
+            self._assert_assignment(name, expr, compiler, target_step=step + 1)
+
+    def _assert_assignment(self, name, expr, compiler, target_step: int) -> None:
+        from ..sat.formula import And, FALSE, Or, Var as FVar
+
+        spec = self.module.variables[name]
+        domain = set(spec.values())
+        value_set = compiler.compile(expr)
+        # Out-of-domain values (arithmetic overflow behind unreachable
+        # guards) are dropped: a state whose only choices overflow has no
+        # successor, matching the explicit engine's semantics.
+        options = [
+            And(FVar(atom_name(name, target_step, value)), guard)
+            for value, guard in value_set.items()
+            if value in domain
+        ]
+        self.encoder.assert_expr(Or(*options) if options else FALSE)
+        self._flush_clauses()
+
+    def property_literal(self, prop: Expr, step: int, negate: bool) -> int:
+        """Tseitin literal for (¬)prop at ``step``."""
+        self.encode_state_skeleton(step)
+        compiler = ValueSetCompiler(self.module, StepAlgebra(step), self.max_values)
+        formula = compiler.compile_bool(prop)
+        literal = self.encoder.encode(formula)
+        self._flush_clauses()
+        return -literal if negate else literal
+
+    def distinct_states(self, step_a: int, step_b: int) -> int:
+        """Literal asserting state(step_a) ≠ state(step_b)."""
+        from ..sat.formula import And, Not, Or, Var as FVar
+
+        differences = []
+        for name, spec in self.module.variables.items():
+            for value in spec.values():
+                differences.append(
+                    And(
+                        FVar(atom_name(name, step_a, value)),
+                        Not(FVar(atom_name(name, step_b, value))),
+                    )
+                )
+        literal = self.encoder.encode(Or(*differences))
+        self._flush_clauses()
+        return literal
+
+    # -- decoding ------------------------------------------------------------------
+
+    def decode_trace(self, model: dict[int, bool], length: int) -> Trace:
+        states = []
+        for step in range(length + 1):
+            state: dict[str, object] = {}
+            for name, spec in self.module.variables.items():
+                for value in spec.values():
+                    index = self.encoder.var_map.get(atom_name(name, step, value))
+                    if index is not None and model.get(index, False):
+                        state[name] = value
+                        break
+                else:
+                    raise ModelCheckingError(
+                        f"model assigns no value to {name}@{step}"
+                    )
+            states.append(state)
+        return Trace(states)
+
+
+class BmcChecker:
+    """Iterative-deepening bounded model checker."""
+
+    name = "bmc"
+
+    def __init__(self, max_bound: int = 20, max_values: int = 4096):
+        self.max_bound = max_bound
+        self.max_values = max_values
+
+    def check_invariant(self, module: SmvModule, prop: Expr) -> CheckResult:
+        """Search for a counterexample up to ``max_bound`` steps.
+
+        Returns VIOLATED with a trace, or UNKNOWN when the bound is
+        exhausted (BMC alone cannot prove invariants — see
+        :class:`KInduction`).
+        """
+        unroller = ModuleUnroller(module, self.max_values)
+        unroller.encode_init(0)
+        for bound in range(self.max_bound + 1):
+            if bound > 0:
+                unroller.encode_transition(bound - 1)
+            bad_literal = unroller.property_literal(prop, bound, negate=True)
+            result = unroller.solver.solve(assumptions=[bad_literal])
+            if result.status is SatStatus.SAT:
+                return CheckResult(
+                    Verdict.VIOLATED,
+                    property_text=print_expression(prop),
+                    counterexample=unroller.decode_trace(result.model, bound),
+                    engine=self.name,
+                    bound_reached=bound,
+                )
+        return CheckResult(
+            Verdict.UNKNOWN,
+            property_text=print_expression(prop),
+            engine=self.name,
+            bound_reached=self.max_bound,
+        )

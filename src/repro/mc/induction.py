@@ -1,0 +1,76 @@
+"""k-induction on top of the BMC unroller.
+
+Proves invariants unboundedly:
+
+- **base case**: no counterexample within ``k`` steps of the initial
+  states (plain BMC);
+- **inductive step**: no simple path of ``k+1`` states that satisfies the
+  property everywhere except the last state.  Simple-path (distinctness)
+  constraints make the method complete for finite-state systems as ``k``
+  grows.
+"""
+
+from __future__ import annotations
+
+from ..sat.solver import SatStatus
+from ..smv.ast import Expr, SmvModule
+from ..smv.printer import print_expression
+from .bmc import ModuleUnroller
+from .result import CheckResult, Verdict
+
+
+class KInduction:
+    """Incremental k-induction prover."""
+
+    name = "k-induction"
+
+    def __init__(self, max_k: int = 20, max_values: int = 4096):
+        self.max_k = max_k
+        self.max_values = max_values
+
+    def check_invariant(self, module: SmvModule, prop: Expr) -> CheckResult:
+        """HOLDS (proven), VIOLATED (with trace) or UNKNOWN (k exhausted)."""
+        # Base-case engine: INIT-rooted unrolling.
+        base = ModuleUnroller(module, self.max_values)
+        base.encode_init(0)
+        # Step-case engine: free initial state (no INIT constraint).
+        step = ModuleUnroller(module, self.max_values)
+        step.encode_state_skeleton(0)
+
+        for k in range(self.max_k + 1):
+            # Base: counterexample at exactly depth k?
+            if k > 0:
+                base.encode_transition(k - 1)
+            bad = base.property_literal(prop, k, negate=True)
+            base_result = base.solver.solve(assumptions=[bad])
+            if base_result.status is SatStatus.SAT:
+                return CheckResult(
+                    Verdict.VIOLATED,
+                    property_text=print_expression(prop),
+                    counterexample=base.decode_trace(base_result.model, k),
+                    engine=self.name,
+                    bound_reached=k,
+                )
+
+            # Step: prop at 0..k, transitions to k+1, ¬prop at k+1,
+            # all k+2 states pairwise distinct.
+            step.encode_transition(k)
+            step.solver.add_clause([step.property_literal(prop, k, negate=False)])
+            for earlier in range(k + 1):
+                step.solver.add_clause([step.distinct_states(earlier, k + 1)])
+            bad_step = step.property_literal(prop, k + 1, negate=True)
+            step_result = step.solver.solve(assumptions=[bad_step])
+            if step_result.status is not SatStatus.SAT:
+                return CheckResult(
+                    Verdict.HOLDS,
+                    property_text=print_expression(prop),
+                    engine=self.name,
+                    bound_reached=k,
+                )
+
+        return CheckResult(
+            Verdict.UNKNOWN,
+            property_text=print_expression(prop),
+            engine=self.name,
+            bound_reached=self.max_k,
+        )

@@ -1,0 +1,55 @@
+"""LTL handling: the safety fragment used by FANNet.
+
+Every property in the paper's methodology is an invariant (``G p`` over a
+propositional ``p`` — P1, P2 and P3 in Fig. 2).  This module normalises
+the LTL formulas the parser accepts into invariant expressions when they
+fall in that fragment, and reports the rest as unsupported rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelCheckingError
+from ..smv.ast import (
+    BinOp,
+    Expr,
+    LtlBin,
+    LtlExpr,
+    LtlProp,
+    LtlUnary,
+    UnaryOp,
+)
+
+
+def ltl_to_invariant(formula: LtlExpr) -> Expr:
+    """Convert ``G p`` (with propositional ``p``) into the invariant ``p``.
+
+    Boolean structure *inside* the G is folded back into a propositional
+    expression; nested temporal operators raise
+    :class:`ModelCheckingError`.
+    """
+    if isinstance(formula, LtlUnary) and formula.op == "G":
+        return _propositional(formula.operand)
+    raise ModelCheckingError(
+        "only G <propositional> formulas are supported by the invariant engines"
+    )
+
+
+def _propositional(formula: LtlExpr) -> Expr:
+    if isinstance(formula, LtlProp):
+        return formula.expr
+    if isinstance(formula, LtlUnary):
+        if formula.op == "!":
+            return UnaryOp("!", _propositional(formula.operand))
+        raise ModelCheckingError(
+            f"temporal operator {formula.op!r} inside G is not in the safety fragment"
+        )
+    if isinstance(formula, LtlBin):
+        if formula.op in ("&", "|", "->"):
+            return BinOp(
+                formula.op, _propositional(formula.left), _propositional(formula.right)
+            )
+        raise ModelCheckingError(
+            f"temporal operator {formula.op!r} inside G is not in the safety fragment"
+        )
+    raise ModelCheckingError(f"unknown LTL node {type(formula).__name__}")

@@ -1,0 +1,73 @@
+"""Random and guided simulation of SMV models.
+
+nuXmv's ``pick_state`` / ``simulate`` workflow: execute the FSM
+concretely to sanity-check a model before committing to exhaustive
+checking.  Used by the examples and handy when writing new models; also
+the quickest way to watch the NN noise FSM re-draw noise vectors.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ModelCheckingError
+from ..fsm import TransitionSystem
+from ..smv.ast import Expr, SmvModule
+from .result import Trace
+
+
+class Simulator:
+    """Concrete executor for an SMV module."""
+
+    def __init__(self, module: SmvModule, seed: int = 0):
+        self.system = TransitionSystem(module)
+        self.rng = random.Random(seed)
+
+    def random_trace(self, steps: int) -> Trace:
+        """One random execution of ``steps`` transitions.
+
+        Raises :class:`ModelCheckingError` on a deadlocked state (a state
+        whose every next-choice is out of domain).
+        """
+        state = self._pick(list(self.system.initial_states()), "initial state")
+        states = [self.system.as_dict(state)]
+        for _ in range(steps):
+            successors = list(self.system.successors(state))
+            state = self._pick(successors, "successor (deadlock)")
+            states.append(self.system.as_dict(state))
+        return Trace(states)
+
+    def random_traces(self, count: int, steps: int) -> list[Trace]:
+        """Independent random executions."""
+        return [self.random_trace(steps) for _ in range(count)]
+
+    def holds_on_trace(self, prop: Expr, trace: Trace) -> bool:
+        """Does the propositional property hold in *every* trace state?"""
+        names = self.system.var_names
+        for state_dict in trace.states:
+            state = tuple(state_dict[name] for name in names)
+            if not self.system.holds(prop, state):
+                return False
+        return True
+
+    def estimate_violation_rate(
+        self, prop: Expr, traces: int = 100, steps: int = 5
+    ) -> float:
+        """Fraction of random traces violating the invariant.
+
+        A statistical smoke test, not a proof — 0.0 here still needs a
+        real engine to become a HOLDS verdict; a positive rate is a
+        cheaply-found bug.
+        """
+        if traces <= 0:
+            raise ModelCheckingError("traces must be positive")
+        violations = sum(
+            0 if self.holds_on_trace(prop, self.random_trace(steps)) else 1
+            for _ in range(traces)
+        )
+        return violations / traces
+
+    def _pick(self, options: list, what: str):
+        if not options:
+            raise ModelCheckingError(f"simulation stuck: no {what}")
+        return self.rng.choice(options)

@@ -1,0 +1,244 @@
+"""Finite-domain symbolic compilation shared by the SAT and BDD engines.
+
+An SMV expression over finite-domain variables compiles to a *value set*:
+a mapping ``value → guard`` where the guard is a formula (in whatever
+boolean algebra the engine uses) that is true exactly when the expression
+evaluates to that value.  Atoms are ``variable = value`` tests supplied by
+the engine.
+
+This is the step where the paper's state-space blowup becomes concrete:
+arithmetic over wide ranges multiplies value-set sizes, so the compiler
+enforces a hard cap and reports the overflow instead of silently
+thrashing — the same reason the paper's nuXmv runs are confined to small
+noise ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, TypeVar
+
+from ..errors import ModelCheckingError, StateSpaceLimitError
+from ..smv.ast import (
+    BinOp,
+    BoolLit,
+    Call,
+    CaseExpr,
+    Expr,
+    Ident,
+    IntLit,
+    SetExpr,
+    SmvModule,
+    UnaryOp,
+)
+
+F = TypeVar("F")  # formula type of the algebra
+
+
+class FormulaAlgebra(Generic[F]):
+    """Boolean algebra interface engines implement.
+
+    ``atom(var, value)`` must return the formula for ``var = value`` in
+    the *current* step/frame the engine is encoding.
+    """
+
+    def true(self) -> F:
+        raise NotImplementedError
+
+    def false(self) -> F:
+        raise NotImplementedError
+
+    def conj(self, a: F, b: F) -> F:
+        raise NotImplementedError
+
+    def disj(self, a: F, b: F) -> F:
+        raise NotImplementedError
+
+    def neg(self, a: F) -> F:
+        raise NotImplementedError
+
+    def atom(self, var: str, value: Hashable) -> F:
+        raise NotImplementedError
+
+
+def _truncated_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ModelCheckingError("division by zero in symbolic compilation")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+_INT_OPS: dict[str, Callable[[int, int], int]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": _truncated_div,
+    "mod": lambda a, b: a - _truncated_div(a, b) * b,
+}
+
+_REL_OPS: dict[str, Callable] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ValueSetCompiler(Generic[F]):
+    """Compiles expressions to ``{value: guard}`` maps over an algebra."""
+
+    def __init__(
+        self,
+        module: SmvModule,
+        algebra: FormulaAlgebra[F],
+        max_values: int = 4096,
+    ):
+        self.module = module
+        self.algebra = algebra
+        self.max_values = max_values
+        self._define_cache: dict[str, dict] = {}
+
+    # -- public ---------------------------------------------------------------
+
+    def compile(self, expr: Expr) -> dict:
+        """Value-set of ``expr`` over current-state atoms."""
+        value_set = self._compile(expr)
+        return value_set
+
+    def compile_bool(self, expr: Expr) -> F:
+        """Formula for "expr is true" (expr must be boolean-valued)."""
+        value_set = self._compile(expr)
+        unexpected = [v for v in value_set if not isinstance(v, bool)]
+        if unexpected:
+            raise ModelCheckingError(
+                f"boolean expression produced values {unexpected[:3]!r}"
+            )
+        return value_set.get(True, self.algebra.false())
+
+    # -- internals ------------------------------------------------------------------
+
+    def _guard_cap(self, value_set: dict) -> dict:
+        if len(value_set) > self.max_values:
+            raise StateSpaceLimitError(
+                f"value set exceeded {self.max_values} entries — the model's "
+                "arithmetic is too wide for symbolic encoding (use the "
+                "arithmetic verification engines instead)"
+            )
+        return value_set
+
+    def _merge(self, value_set: dict, value, guard: F) -> None:
+        existing = value_set.get(value)
+        value_set[value] = guard if existing is None else self.algebra.disj(existing, guard)
+
+    def _compile(self, expr: Expr) -> dict:
+        algebra = self.algebra
+        if isinstance(expr, IntLit):
+            return {expr.value: algebra.true()}
+        if isinstance(expr, BoolLit):
+            return {expr.value: algebra.true()}
+        if isinstance(expr, Ident):
+            name = expr.name
+            if name in self.module.variables:
+                domain = self.module.variables[name].values()
+                return self._guard_cap(
+                    {value: algebra.atom(name, value) for value in domain}
+                )
+            if name in self.module.defines:
+                if name not in self._define_cache:
+                    self._define_cache[name] = self._compile(self.module.defines[name])
+                return self._define_cache[name]
+            # Enum literal.
+            return {name: algebra.true()}
+        if isinstance(expr, UnaryOp):
+            operand = self._compile(expr.operand)
+            if expr.op == "-":
+                return {-value: guard for value, guard in operand.items()}
+            return {not value: guard for value, guard in operand.items()}
+        if isinstance(expr, BinOp):
+            return self._compile_binop(expr)
+        if isinstance(expr, Call):
+            return self._compile_call(expr)
+        if isinstance(expr, CaseExpr):
+            return self._compile_case(expr)
+        if isinstance(expr, SetExpr):
+            # Non-deterministic choice: union of the item value-sets.
+            result: dict = {}
+            for item in expr.items:
+                for value, guard in self._compile(item).items():
+                    self._merge(result, value, guard)
+            return self._guard_cap(result)
+        raise ModelCheckingError(f"cannot compile node {type(expr).__name__}")
+
+    def _compile_binop(self, expr: BinOp) -> dict:
+        algebra = self.algebra
+        op = expr.op
+        if op in ("&", "|", "->", "<->"):
+            left = self.compile_bool(expr.left)
+            right = self.compile_bool(expr.right)
+            if op == "&":
+                true_guard = algebra.conj(left, right)
+            elif op == "|":
+                true_guard = algebra.disj(left, right)
+            elif op == "->":
+                true_guard = algebra.disj(algebra.neg(left), right)
+            else:
+                true_guard = algebra.disj(
+                    algebra.conj(left, right),
+                    algebra.conj(algebra.neg(left), algebra.neg(right)),
+                )
+            return {True: true_guard, False: algebra.neg(true_guard)}
+
+        left_set = self._compile(expr.left)
+        right_set = self._compile(expr.right)
+        result: dict = {}
+        if op in _INT_OPS:
+            fn = _INT_OPS[op]
+            for lv, lg in left_set.items():
+                for rv, rg in right_set.items():
+                    self._merge(result, fn(lv, rv), algebra.conj(lg, rg))
+            return self._guard_cap(result)
+        if op in _REL_OPS:
+            fn = _REL_OPS[op]
+            for lv, lg in left_set.items():
+                for rv, rg in right_set.items():
+                    self._merge(result, bool(fn(lv, rv)), algebra.conj(lg, rg))
+            for polarity in (True, False):
+                result.setdefault(polarity, algebra.false())
+            return result
+        raise ModelCheckingError(f"unknown operator {op!r}")
+
+    def _compile_call(self, expr: Call) -> dict:
+        algebra = self.algebra
+        sets = [self._compile(argument) for argument in expr.args]
+        if expr.func == "abs":
+            return self._guard_cap(
+                self._unary_table(sets[0], abs)
+            )
+        fn = max if expr.func == "max" else min
+        current = sets[0]
+        for other in sets[1:]:
+            merged: dict = {}
+            for lv, lg in current.items():
+                for rv, rg in other.items():
+                    self._merge(merged, fn(lv, rv), algebra.conj(lg, rg))
+            current = self._guard_cap(merged)
+        return current
+
+    def _unary_table(self, value_set: dict, fn) -> dict:
+        result: dict = {}
+        for value, guard in value_set.items():
+            self._merge(result, fn(value), guard)
+        return result
+
+    def _compile_case(self, expr: CaseExpr) -> dict:
+        algebra = self.algebra
+        result: dict = {}
+        no_prior = algebra.true()
+        for guard_expr, result_expr in expr.branches:
+            guard = self.compile_bool(guard_expr)
+            active = algebra.conj(no_prior, guard)
+            for value, value_guard in self._compile(result_expr).items():
+                self._merge(result, value, algebra.conj(active, value_guard))
+            no_prior = algebra.conj(no_prior, algebra.neg(guard))
+        return self._guard_cap(result)

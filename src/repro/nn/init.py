@@ -1,0 +1,30 @@
+"""Weight initialisers.
+
+Deterministic given a :class:`numpy.random.Generator`, so every experiment
+in EXPERIMENTS.md is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, shape ``(fan_out, fan_in)``."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+def uniform_init(rng: np.random.Generator, fan_in: int, fan_out: int, limit: float = 0.5) -> np.ndarray:
+    """Plain uniform initialisation in ``[-limit, limit]``.
+
+    MATLAB's classic ``feedforwardnet`` default era initialisers were
+    uniform; we keep this available for fidelity experiments.
+    """
+    return rng.uniform(-limit, limit, size=(fan_out, fan_in))
+
+
+INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "uniform": uniform_init,
+}

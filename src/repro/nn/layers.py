@@ -1,0 +1,123 @@
+"""Dense (fully-connected) layer with float and exact execution paths."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..rational import mat_vec, to_fraction_matrix, to_fraction_vector, vec_add
+from .activations import Activation, Identity, ReLU, activation_by_name
+
+
+class DenseLayer:
+    """Affine map followed by an elementwise activation.
+
+    ``weights`` has shape ``(out_features, in_features)``; ``bias`` has
+    shape ``(out_features,)``.  The layer owns its float parameters; the
+    exact view is derived on demand (see :mod:`repro.nn.quantize` for the
+    snapped version used in formal analysis).
+    """
+
+    def __init__(self, weights: np.ndarray, bias: np.ndarray, activation: Activation):
+        weights = np.asarray(weights, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ShapeError(f"weights must be 2-D, got shape {weights.shape}")
+        if bias.ndim != 1:
+            raise ShapeError(f"bias must be 1-D, got shape {bias.shape}")
+        if bias.shape[0] != weights.shape[0]:
+            raise ShapeError(
+                f"bias length {bias.shape[0]} does not match output features {weights.shape[0]}"
+            )
+        self.weights = weights
+        self.bias = bias
+        self.activation = activation
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_init(
+        cls,
+        rng: np.random.Generator,
+        in_features: int,
+        out_features: int,
+        activation: str = "relu",
+        initializer=None,
+    ) -> "DenseLayer":
+        """Create a randomly initialised layer."""
+        from .init import glorot_uniform
+
+        init_fn = initializer if initializer is not None else glorot_uniform
+        weights = init_fn(rng, in_features, out_features)
+        bias = np.zeros(out_features)
+        return cls(weights, bias, activation_by_name(activation))
+
+    # -- shapes ------------------------------------------------------------
+
+    @property
+    def in_features(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weights.shape[0]
+
+    # -- float path (training / fast inference) -----------------------------
+
+    def preactivation(self, x: np.ndarray) -> np.ndarray:
+        """Affine part ``W x + b``; ``x`` may be a vector or a batch."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            if x.shape[0] != self.in_features:
+                raise ShapeError(f"input length {x.shape[0]} != in_features {self.in_features}")
+            return self.weights @ x + self.bias
+        if x.ndim == 2:
+            if x.shape[1] != self.in_features:
+                raise ShapeError(f"input width {x.shape[1]} != in_features {self.in_features}")
+            return x @ self.weights.T + self.bias
+        raise ShapeError(f"input must be 1-D or 2-D, got shape {x.shape}")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.activation.forward(self.preactivation(x))
+
+    # -- exact path ----------------------------------------------------------
+
+    def preactivation_exact(self, x: Sequence[Fraction]) -> list[Fraction]:
+        """Exact affine part over rationals."""
+        if len(x) != self.in_features:
+            raise ShapeError(f"input length {len(x)} != in_features {self.in_features}")
+        w = to_fraction_matrix(self.weights)
+        b = to_fraction_vector(self.bias)
+        return vec_add(mat_vec(w, list(x)), b)
+
+    def forward_exact(self, x: Sequence[Fraction]) -> list[Fraction]:
+        return self.activation.forward_exact(self.preactivation_exact(x))
+
+    # -- misc ----------------------------------------------------------------
+
+    def copy(self) -> "DenseLayer":
+        return DenseLayer(self.weights.copy(), self.bias.copy(), type(self.activation)())
+
+    def parameter_count(self) -> int:
+        return self.weights.size + self.bias.size
+
+    def __repr__(self):
+        return (
+            f"DenseLayer(in={self.in_features}, out={self.out_features}, "
+            f"activation={self.activation.name!r})"
+        )
+
+
+def make_paper_architecture(rng: np.random.Generator, num_inputs: int = 5, hidden: int = 20) -> list[DenseLayer]:
+    """Layers for the paper's 5-input / 20-hidden / 2-output network.
+
+    Fig. 3(a) counts 6/20/2 *nodes* per layer; the sixth input node is the
+    constant bias input, which we model as the layer bias term.
+    """
+    return [
+        DenseLayer.from_init(rng, num_inputs, hidden, activation="relu"),
+        DenseLayer.from_init(rng, hidden, 2, activation="linear"),
+    ]

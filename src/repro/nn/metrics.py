@@ -1,0 +1,39 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of matching entries."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ShapeError("predictions and labels must have identical shape")
+    if predictions.size == 0:
+        raise ShapeError("accuracy of an empty prediction set is undefined")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """``matrix[true, predicted]`` counts."""
+    predictions = np.asarray(predictions, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ShapeError("predictions and labels must have identical shape")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true, predicted in zip(labels, predictions):
+        matrix[true, predicted] += 1
+    return matrix
+
+
+def misclassified_indices(predictions: np.ndarray, labels: np.ndarray) -> list[int]:
+    """Indices where prediction differs from label."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ShapeError("predictions and labels must have identical shape")
+    return [int(i) for i in np.nonzero(predictions != labels)[0]]

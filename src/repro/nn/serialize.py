@@ -1,0 +1,72 @@
+"""Network (de)serialisation to plain JSON.
+
+The format stores float weights verbatim (via ``repr`` round-trip safe
+float lists) plus the activation names, so a saved network reloads to an
+identical object — important because the formal results in EXPERIMENTS.md
+are tied to specific trained parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError
+from .activations import activation_by_name
+from .layers import DenseLayer
+from .network import Network
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: Network) -> dict:
+    """JSON-ready description of ``network``."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "layers": [
+            {
+                "weights": layer.weights.tolist(),
+                "bias": layer.bias.tolist(),
+                "activation": layer.activation.name,
+            }
+            for layer in network.layers
+        ],
+    }
+
+
+def network_from_dict(payload: dict) -> Network:
+    """Inverse of :func:`network_to_dict`."""
+    if not isinstance(payload, dict) or "layers" not in payload:
+        raise DataError("network payload must be a dict with a 'layers' key")
+    version = payload.get("format_version", 0)
+    if version != FORMAT_VERSION:
+        raise DataError(f"unsupported network format version {version}")
+    layers = []
+    for entry in payload["layers"]:
+        try:
+            layers.append(
+                DenseLayer(
+                    np.asarray(entry["weights"], dtype=np.float64),
+                    np.asarray(entry["bias"], dtype=np.float64),
+                    activation_by_name(entry["activation"]),
+                )
+            )
+        except KeyError as missing:
+            raise DataError(f"layer entry missing key {missing}") from None
+    return Network(layers)
+
+
+def save_network(network: Network, path: str | Path) -> None:
+    """Write ``network`` as JSON to ``path``."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def load_network(path: str | Path) -> Network:
+    """Load a network previously written by :func:`save_network`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as err:
+        raise DataError(f"not a valid network file: {err}") from None
+    return network_from_dict(payload)

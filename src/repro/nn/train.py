@@ -1,0 +1,192 @@
+"""SGD training with the paper's two-phase learning-rate schedule.
+
+§V-A footnote 1: *"The network is trained using MATLAB with a learning
+rate of 0.5 for the 40 initial epochs, and a learning rate of 0.2 for the
+remaining 40 epochs"*, reaching 100 % train / 94.12 % test accuracy.
+We reproduce the recipe with plain softmax-cross-entropy SGD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TrainConfig
+from ..errors import DataError, ShapeError
+from .layers import DenseLayer, make_paper_architecture
+from .network import Network
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot matrix of shape ``(n, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError("labels must be 1-D")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise DataError(f"labels out of range [0, {num_classes})")
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(probabilities: np.ndarray, targets: np.ndarray) -> float:
+    """Mean cross-entropy between softmax probabilities and one-hot targets."""
+    eps = 1e-12
+    return float(-(targets * np.log(probabilities + eps)).sum(axis=-1).mean())
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    network: Network
+    loss_history: list[float] = field(default_factory=list)
+    accuracy_history: list[float] = field(default_factory=list)
+    train_accuracy: float = 0.0
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.loss_history)
+
+
+class SgdTrainer:
+    """Mini-batch SGD with momentum over a phase schedule.
+
+    ``schedule`` is a list of ``(epochs, learning_rate)`` pairs executed in
+    order, matching the paper's 40-epoch/0.5 then 40-epoch/0.2 recipe.
+    """
+
+    def __init__(
+        self,
+        schedule: list[tuple[int, float]],
+        momentum: float = 0.0,
+        batch_size: int = 0,
+        seed: int = 0,
+    ):
+        if not schedule:
+            raise DataError("schedule must contain at least one phase")
+        for epochs, lr in schedule:
+            if epochs < 0 or lr <= 0:
+                raise DataError("schedule entries must be (epochs >= 0, lr > 0)")
+        self.schedule = schedule
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+
+    def fit(self, network: Network, inputs: np.ndarray, labels: np.ndarray) -> TrainResult:
+        """Train ``network`` in place and return the training record."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if inputs.ndim != 2:
+            raise ShapeError("inputs must be a 2-D (n, features) array")
+        if inputs.shape[0] != labels.shape[0]:
+            raise ShapeError("inputs and labels disagree on sample count")
+        if inputs.shape[0] == 0:
+            raise DataError("cannot train on an empty dataset")
+
+        targets = one_hot(labels, network.num_outputs)
+        velocity = [
+            (np.zeros_like(layer.weights), np.zeros_like(layer.bias))
+            for layer in network.layers
+        ]
+        result = TrainResult(network=network)
+
+        for epochs, lr in self.schedule:
+            for _ in range(epochs):
+                loss = self._run_epoch(network, inputs, targets, lr, velocity)
+                result.loss_history.append(loss)
+                predictions = network.predict(inputs)
+                result.accuracy_history.append(float((predictions == labels).mean()))
+
+        result.train_accuracy = result.accuracy_history[-1] if result.accuracy_history else 0.0
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_epoch(self, network, inputs, targets, lr, velocity) -> float:
+        n = inputs.shape[0]
+        batch = self.batch_size if self.batch_size > 0 else n
+        order = self.rng.permutation(n) if batch < n else np.arange(n)
+        losses = []
+        for start in range(0, n, batch):
+            rows = order[start:start + batch]
+            losses.append(
+                self._step(network, inputs[rows], targets[rows], lr, velocity)
+            )
+        return float(np.mean(losses))
+
+    def _step(self, network, x, y, lr, velocity) -> float:
+        """One SGD step on batch (x, y); returns the batch loss."""
+        # Forward, keeping pre- and post-activations.
+        pre_activations = []
+        post_activations = [x]
+        out = x
+        for layer in network.layers:
+            pre = layer.preactivation(out)
+            pre_activations.append(pre)
+            out = layer.activation.forward(pre)
+            post_activations.append(out)
+
+        probabilities = softmax(out)
+        loss = cross_entropy(probabilities, y)
+
+        # Backward. Output layer is linear + softmax-CE.
+        batch_n = x.shape[0]
+        delta = (probabilities - y) / batch_n
+        for index in range(len(network.layers) - 1, -1, -1):
+            layer = network.layers[index]
+            if index < len(network.layers) - 1:
+                delta = delta * layer.activation.derivative(pre_activations[index])
+            grad_w = delta.T @ post_activations[index]
+            grad_b = delta.sum(axis=0)
+            # The gradient flowing to the previous layer must use the
+            # weights *before* this step's update.
+            if index > 0:
+                delta_previous = delta @ layer.weights
+            vel_w, vel_b = velocity[index]
+            vel_w *= self.momentum
+            vel_w -= lr * grad_w
+            vel_b *= self.momentum
+            vel_b -= lr * grad_b
+            layer.weights += vel_w
+            layer.bias += vel_b
+            if index > 0:
+                delta = delta_previous
+        return loss
+
+
+def train_paper_network(
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    config: TrainConfig | None = None,
+) -> TrainResult:
+    """Build and train the paper's 5-20-2 architecture on ``inputs``.
+
+    Returns a :class:`TrainResult`; the contained network reaches 100 %
+    training accuracy on the synthetic leukemia data with the default
+    configuration (asserted by the integration tests).
+    """
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    layers = make_paper_architecture(
+        rng, num_inputs=inputs.shape[1], hidden=config.hidden_units
+    )
+    network = Network(layers)
+    trainer = SgdTrainer(
+        schedule=[
+            (config.epochs_phase1, config.lr_phase1),
+            (config.epochs_phase2, config.lr_phase2),
+        ],
+        momentum=config.momentum,
+        batch_size=config.batch_size,
+        seed=config.seed,
+    )
+    return trainer.fit(network, inputs, labels)

@@ -1,0 +1,118 @@
+"""CNF container and DIMACS round-trip.
+
+Literals follow the DIMACS convention: variable ``v`` (1-based) appears as
+``+v`` or ``-v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import SatError
+
+
+def _check_literal(literal: int) -> None:
+    if not isinstance(literal, int) or literal == 0:
+        raise SatError(f"invalid literal {literal!r}; literals are non-zero ints")
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: clause list plus variable count."""
+
+    num_vars: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; duplicates are removed, tautologies dropped."""
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            _check_literal(literal)
+            if -literal in seen:
+                return  # tautology: x ∨ ¬x
+            if literal not in seen:
+                seen.add(literal)
+                clause.append(literal)
+                self.num_vars = max(self.num_vars, abs(literal))
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Truth value of the CNF under a *total* assignment."""
+        for clause in self.clauses:
+            satisfied = False
+            for literal in clause:
+                var = abs(literal)
+                if var not in assignment:
+                    raise SatError(f"assignment missing variable {var}")
+                if assignment[var] == (literal > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def copy(self) -> "Cnf":
+        return Cnf(self.num_vars, [list(c) for c in self.clauses])
+
+
+def to_dimacs(cnf: Cnf, comment: str = "") -> str:
+    """Serialise to DIMACS CNF text."""
+    lines = []
+    if comment:
+        for line in comment.splitlines():
+            lines.append(f"c {line}")
+    lines.append(f"p cnf {cnf.num_vars} {cnf.num_clauses}")
+    for clause in cnf.clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dimacs(text: str) -> Cnf:
+    """Parse DIMACS CNF text (tolerant of comments and blank lines)."""
+    cnf = Cnf()
+    declared_vars = None
+    pending: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SatError(f"malformed problem line: {line!r}")
+            try:
+                declared_vars = int(parts[2])
+                int(parts[3])
+            except ValueError:
+                raise SatError(f"malformed problem line: {line!r}") from None
+            continue
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError:
+                raise SatError(f"bad token {token!r} in DIMACS body") from None
+            if literal == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        raise SatError("clause not terminated by 0")
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    return cnf

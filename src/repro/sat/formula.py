@@ -1,0 +1,258 @@
+"""Propositional formula AST and Tseitin CNF transformation.
+
+The bounded model checker unrolls SMV transition relations into formulas
+over named variables; :func:`tseitin` converts them to equisatisfiable
+CNF for the CDCL core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import SatError
+from .cnf import Cnf
+
+
+class BoolExpr:
+    """Base class for propositional expressions (immutable)."""
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+    def variables(self) -> set[str]:
+        """All variable names appearing in the expression."""
+        return set(_collect_vars(self))
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        """Evaluate under a total assignment of the named variables."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    name: str
+
+    def evaluate(self, assignment):
+        try:
+            return assignment[self.name]
+        except KeyError:
+            raise SatError(f"assignment missing variable {self.name!r}") from None
+
+    def __repr__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(BoolExpr):
+    value: bool
+
+    def evaluate(self, assignment):
+        return self.value
+
+    def __repr__(self):
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    operand: BoolExpr
+
+    def evaluate(self, assignment):
+        return not self.operand.evaluate(assignment)
+
+    def __repr__(self):
+        return f"!({self.operand!r})"
+
+
+class _Nary(BoolExpr):
+    """Shared behaviour for AND/OR with flattened operands."""
+
+    op_name = "?"
+
+    def __init__(self, *operands: BoolExpr):
+        flat: list[BoolExpr] = []
+        for operand in operands:
+            if not isinstance(operand, BoolExpr):
+                raise SatError(f"operand {operand!r} is not a BoolExpr")
+            if type(operand) is type(self):
+                flat.extend(operand.operands)  # type: ignore[attr-defined]
+            else:
+                flat.append(operand)
+        self.operands = tuple(flat)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.operands))
+
+    def __repr__(self):
+        inner = f" {self.op_name} ".join(repr(o) for o in self.operands)
+        return f"({inner})"
+
+
+class And(_Nary):
+    op_name = "&"
+
+    def evaluate(self, assignment):
+        return all(o.evaluate(assignment) for o in self.operands)
+
+
+class Or(_Nary):
+    op_name = "|"
+
+    def evaluate(self, assignment):
+        return any(o.evaluate(assignment) for o in self.operands)
+
+
+@dataclass(frozen=True)
+class Implies(BoolExpr):
+    antecedent: BoolExpr
+    consequent: BoolExpr
+
+    def evaluate(self, assignment):
+        return (not self.antecedent.evaluate(assignment)) or self.consequent.evaluate(assignment)
+
+    def __repr__(self):
+        return f"({self.antecedent!r} -> {self.consequent!r})"
+
+
+@dataclass(frozen=True)
+class Iff(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def evaluate(self, assignment):
+        return self.left.evaluate(assignment) == self.right.evaluate(assignment)
+
+    def __repr__(self):
+        return f"({self.left!r} <-> {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Xor(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def evaluate(self, assignment):
+        return self.left.evaluate(assignment) != self.right.evaluate(assignment)
+
+    def __repr__(self):
+        return f"({self.left!r} xor {self.right!r})"
+
+
+def _collect_vars(expr: BoolExpr) -> Iterator[str]:
+    if isinstance(expr, Var):
+        yield expr.name
+    elif isinstance(expr, Const):
+        return
+    elif isinstance(expr, Not):
+        yield from _collect_vars(expr.operand)
+    elif isinstance(expr, _Nary):
+        for operand in expr.operands:
+            yield from _collect_vars(operand)
+    elif isinstance(expr, Implies):
+        yield from _collect_vars(expr.antecedent)
+        yield from _collect_vars(expr.consequent)
+    elif isinstance(expr, (Iff, Xor)):
+        yield from _collect_vars(expr.left)
+        yield from _collect_vars(expr.right)
+    else:
+        raise SatError(f"unknown expression node {type(expr).__name__}")
+
+
+class TseitinEncoder:
+    """Stateful Tseitin encoder sharing a variable map across formulas.
+
+    Used incrementally by the BMC engine: each unrolling step encodes new
+    formulas over a shared :class:`Cnf` and variable table.
+    """
+
+    def __init__(self):
+        self.cnf = Cnf()
+        self.var_map: dict[str, int] = {}
+        self._cache: dict[BoolExpr, int] = {}
+
+    def var_for(self, name: str) -> int:
+        """DIMACS index of named variable ``name`` (allocated on demand)."""
+        if name not in self.var_map:
+            self.var_map[name] = self.cnf.new_var()
+        return self.var_map[name]
+
+    def encode(self, expr: BoolExpr) -> int:
+        """Return a literal equivalent to ``expr``, adding defining clauses."""
+        if isinstance(expr, Var):
+            return self.var_for(expr.name)
+        if isinstance(expr, Const):
+            if expr not in self._cache:
+                # A variable pinned to the constant value.
+                literal = self.cnf.new_var()
+                self.cnf.add_clause([literal if expr.value else -literal])
+                self._cache[expr] = literal
+            return self._cache[expr]
+        if expr in self._cache:
+            return self._cache[expr]
+        literal = self._encode_uncached(expr)
+        self._cache[expr] = literal
+        return literal
+
+    def _encode_uncached(self, expr: BoolExpr) -> int:
+        if isinstance(expr, Not):
+            return -self.encode(expr.operand)
+        if isinstance(expr, And):
+            output = self.cnf.new_var()
+            inputs = [self.encode(o) for o in expr.operands]
+            for literal in inputs:
+                self.cnf.add_clause([-output, literal])
+            self.cnf.add_clause([output] + [-l for l in inputs])
+            return output
+        if isinstance(expr, Or):
+            output = self.cnf.new_var()
+            inputs = [self.encode(o) for o in expr.operands]
+            for literal in inputs:
+                self.cnf.add_clause([-literal, output])
+            self.cnf.add_clause([-output] + inputs)
+            return output
+        if isinstance(expr, Implies):
+            return self.encode(Or(Not(expr.antecedent), expr.consequent))
+        if isinstance(expr, Iff):
+            left = self.encode(expr.left)
+            right = self.encode(expr.right)
+            output = self.cnf.new_var()
+            self.cnf.add_clauses(
+                [
+                    [-output, -left, right],
+                    [-output, left, -right],
+                    [output, left, right],
+                    [output, -left, -right],
+                ]
+            )
+            return output
+        if isinstance(expr, Xor):
+            return self.encode(Not(Iff(expr.left, expr.right)))
+        raise SatError(f"cannot encode expression node {type(expr).__name__}")
+
+    def assert_expr(self, expr: BoolExpr) -> None:
+        """Constrain ``expr`` to be true."""
+        self.cnf.add_clause([self.encode(expr)])
+
+
+def tseitin(expr: BoolExpr) -> tuple[Cnf, dict[str, int]]:
+    """Encode ``expr`` as CNF; SAT iff ``expr`` is satisfiable.
+
+    Returns the CNF and the name → DIMACS-variable map for decoding models.
+    """
+    encoder = TseitinEncoder()
+    encoder.assert_expr(expr)
+    return encoder.cnf, encoder.var_map

@@ -1,0 +1,482 @@
+"""CDCL SAT solver.
+
+A faithful, pure-Python MiniSat-style solver:
+
+- two-watched-literal unit propagation;
+- first-UIP conflict analysis with clause learning;
+- VSIDS variable activity with exponential decay;
+- phase saving;
+- Luby-sequence restarts;
+- activity-driven learnt-clause database reduction;
+- incremental use: clauses may be added between ``solve`` calls, and
+  ``solve`` accepts assumption literals (used by the BMC engine and the
+  noise-vector enumerator to block previously found models).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from ..errors import SatError
+from .cnf import Cnf
+
+
+class SatStatus(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatResult:
+    """Outcome of a ``solve`` call.
+
+    ``model`` maps every variable index to a bool when ``status`` is SAT.
+    ``conflicts`` counts learnt conflicts (a rough effort measure used in
+    the engine-comparison benchmarks).
+    """
+
+    status: SatStatus
+    model: dict[int, bool] | None = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.status is SatStatus.SAT
+
+
+class _Clause:
+    """Mutable clause with watch bookkeeping and an activity score."""
+
+    __slots__ = ("literals", "learnt", "activity")
+
+    def __init__(self, literals: list[int], learnt: bool = False):
+        self.literals = literals
+        self.learnt = learnt
+        self.activity = 0.0
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def __len__(self):
+        return len(self.literals)
+
+    def __getitem__(self, index):
+        return self.literals[index]
+
+    def __setitem__(self, index, value):
+        self.literals[index] = value
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,…"""
+    if i < 1:
+        raise ValueError("luby is 1-based")
+    while True:
+        k = i.bit_length()  # 2^(k-1) <= i < 2^k
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning solver over DIMACS-style literals."""
+
+    RESTART_BASE = 128
+    VAR_DECAY = 0.95
+    CLAUSE_DECAY = 0.999
+    MAX_LEARNTS_START = 4000
+
+    def __init__(self, num_vars: int = 0):
+        self._num_vars = 0
+        self._assign: list[int] = [0]  # 1 true, -1 false, 0 unassigned
+        self._level: list[int] = [0]
+        self._reason: list[_Clause | None] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._watches: dict[int, list[_Clause]] = {}
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._clause_inc = 1.0
+        self._order_heap: list[tuple[float, int]] = []
+        self._ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.ensure_vars(num_vars)
+
+    # -- variable management ------------------------------------------------
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable universe to at least ``num_vars``."""
+        while self._num_vars < num_vars:
+            self._num_vars += 1
+            self._assign.append(0)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._watches[self._num_vars] = []
+            self._watches[-self._num_vars] = []
+            heapq.heappush(self._order_heap, (0.0, self._num_vars))
+
+    def new_var(self) -> int:
+        self.ensure_vars(self._num_vars + 1)
+        return self._num_vars
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    # -- clause management -----------------------------------------------------
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a problem clause; returns False if the formula is now trivially UNSAT."""
+        if self._trail_lim:
+            raise SatError("add_clause is only allowed at decision level 0")
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            if not isinstance(literal, int) or literal == 0:
+                raise SatError(f"invalid literal {literal!r}")
+            self.ensure_vars(abs(literal))
+            if -literal in seen:
+                return True  # tautology
+            value = self._value(literal)
+            if value == 1 and self._level[abs(literal)] == 0:
+                return True  # satisfied at top level
+            if value == -1 and self._level[abs(literal)] == 0:
+                continue  # falsified at top level: drop literal
+            if literal not in seen:
+                seen.add(literal)
+                clause.append(literal)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        c = _Clause(clause)
+        self._clauses.append(c)
+        self._watch(c)
+        return True
+
+    def add_cnf(self, cnf: Cnf) -> bool:
+        self.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    def _watch(self, clause: _Clause) -> None:
+        self._watches[-clause[0]].append(clause)
+        self._watches[-clause[1]].append(clause)
+
+    # -- assignment primitives ----------------------------------------------------
+
+    def _value(self, literal: int) -> int:
+        """1 if literal true, -1 if false, 0 if unassigned."""
+        v = self._assign[abs(literal)]
+        return v if literal > 0 else -v
+
+    def _enqueue(self, literal: int, reason: _Clause | None) -> bool:
+        value = self._value(literal)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = abs(literal)
+        self._assign[var] = 1 if literal > 0 else -1
+        self._level[var] = self.decision_level
+        self._reason[var] = reason
+        self._phase[var] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    @property
+    def decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _cancel_until(self, level: int) -> None:
+        if self.decision_level <= level:
+            return
+        boundary = self._trail_lim[level]
+        for literal in reversed(self._trail[boundary:]):
+            var = abs(literal)
+            self._assign[var] = 0
+            self._reason[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # -- propagation ------------------------------------------------------------------
+
+    def _propagate(self) -> _Clause | None:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            literal = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            watchers = self._watches[literal]
+            false_literal = -literal
+            keep: list[_Clause] = []
+            conflict: _Clause | None = None
+            for position, clause in enumerate(watchers):
+                if conflict is not None:
+                    keep.append(clause)
+                    continue
+                # Normalise: the falsified watch sits at index 1.
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    keep.append(clause)
+                    continue
+                moved = False
+                literals = clause.literals
+                for k in range(2, len(literals)):
+                    if self._value(literals[k]) != -1:
+                        literals[1], literals[k] = literals[k], literals[1]
+                        self._watches[-literals[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+            self._watches[literal] = keep
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        return None
+
+    # -- conflict analysis ------------------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP analysis; returns (learnt clause, backjump level)."""
+        learnt: list[int] = [0]  # slot 0 is the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        path_count = 0
+        asserting = None
+        index = len(self._trail) - 1
+        reason: Sequence[int] = conflict.literals
+        self._bump_clause(conflict)
+
+        while True:
+            start = 0 if asserting is None else 1
+            for literal in reason[start:]:
+                var = abs(literal)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= self.decision_level:
+                        path_count += 1
+                    else:
+                        learnt.append(literal)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            asserting = self._trail[index]
+            index -= 1
+            path_count -= 1
+            if path_count == 0:
+                break
+            clause = self._reason[abs(asserting)]
+            if clause is None:
+                raise SatError("internal: UIP literal without reason")
+            self._bump_clause(clause)
+            reason = clause.literals
+        learnt[0] = -asserting
+
+        # Conflict-clause minimisation (local): drop literals implied by
+        # the rest of the clause via their reason clauses.
+        minimized = [learnt[0]]
+        for literal in learnt[1:]:
+            reason_clause = self._reason[abs(literal)]
+            if reason_clause is None:
+                minimized.append(literal)
+                continue
+            if any(
+                not seen[abs(other)] and self._level[abs(other)] > 0
+                for other in reason_clause.literals[1:]
+            ):
+                minimized.append(literal)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            return learnt, 0
+        # Move the highest-level non-asserting literal to slot 1.
+        best = 1
+        for k in range(2, len(learnt)):
+            if self._level[abs(learnt[k])] > self._level[abs(learnt[best])]:
+                best = k
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    # -- activity -------------------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._order_heap, (-self._activity[var], var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learnt:
+            return
+        clause.activity += self._clause_inc
+        if clause.activity > 1e20:
+            for learnt in self._learnts:
+                learnt.activity *= 1e-20
+            self._clause_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self.VAR_DECAY
+        self._clause_inc /= self.CLAUSE_DECAY
+
+    # -- decisions ------------------------------------------------------------------
+
+    def _pick_branch_var(self) -> int | None:
+        while self._order_heap:
+            _, var = heapq.heappop(self._order_heap)
+            if self._assign[var] == 0:
+                return var
+        return None
+
+    # -- learnt DB reduction -----------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Drop the lower-activity half of learnt clauses (keep reasons)."""
+        locked = {id(self._reason[abs(lit)]) for lit in self._trail if self._reason[abs(lit)]}
+        self._learnts.sort(key=lambda c: c.activity)
+        cut = len(self._learnts) // 2
+        removed: set[int] = set()
+        survivors: list[_Clause] = []
+        for position, clause in enumerate(self._learnts):
+            if position < cut and id(clause) not in locked and len(clause) > 2:
+                removed.add(id(clause))
+            else:
+                survivors.append(clause)
+        self._learnts = survivors
+        if removed:
+            for literal in list(self._watches):
+                self._watches[literal] = [
+                    c for c in self._watches[literal] if id(c) not in removed
+                ]
+
+    # -- main loop ------------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        max_conflicts: int | None = None,
+    ) -> SatResult:
+        """Run CDCL search.  ``assumptions`` are literals fixed for this call."""
+        if not self._ok:
+            return SatResult(SatStatus.UNSAT, conflicts=self.conflicts)
+        for literal in assumptions:
+            self.ensure_vars(abs(literal))
+
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return SatResult(SatStatus.UNSAT, conflicts=self.conflicts)
+
+        max_learnts = self.MAX_LEARNTS_START
+        restart_count = 0
+        conflicts_until_restart = self.RESTART_BASE * luby(1)
+        start_conflicts = self.conflicts
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_until_restart -= 1
+                if self.decision_level == 0:
+                    self._ok = False
+                    return SatResult(SatStatus.UNSAT, conflicts=self.conflicts)
+                learnt, backjump_level = self._analyze(conflict)
+                self._cancel_until(backjump_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return SatResult(SatStatus.UNSAT, conflicts=self.conflicts)
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._learnts.append(clause)
+                    self._watch(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self._decay_activities()
+                if max_conflicts is not None and self.conflicts - start_conflicts >= max_conflicts:
+                    self._cancel_until(0)
+                    return SatResult(SatStatus.UNKNOWN, conflicts=self.conflicts)
+                continue
+
+            if len(self._learnts) > max_learnts:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.5)
+
+            if conflicts_until_restart <= 0:
+                restart_count += 1
+                conflicts_until_restart = self.RESTART_BASE * luby(restart_count + 1)
+                self._cancel_until(0)
+                continue
+
+            # Establish assumptions as pseudo-decisions, in order.  Learnt
+            # clauses never mention decisions, so they remain valid across
+            # calls; an assumption forced false here means UNSAT *under
+            # these assumptions* (the formula itself may stay SAT).
+            if self.decision_level < len(assumptions):
+                literal = assumptions[self.decision_level]
+                value = self._value(literal)
+                if value == -1:
+                    self._cancel_until(0)
+                    return SatResult(SatStatus.UNSAT, conflicts=self.conflicts)
+                self._new_decision_level()
+                if value == 0:
+                    self._enqueue(literal, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var is None:
+                model = {
+                    v: self._assign[v] == 1 for v in range(1, self._num_vars + 1)
+                }
+                result = SatResult(
+                    SatStatus.SAT,
+                    model=model,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                )
+                self._cancel_until(0)
+                return result
+            self.decisions += 1
+            self._new_decision_level()
+            literal = var if self._phase[var] else -var
+            self._enqueue(literal, None)
+
+def solve_cnf(cnf: Cnf, assumptions: Sequence[int] = (), max_conflicts: int | None = None) -> SatResult:
+    """One-shot convenience wrapper."""
+    solver = CdclSolver()
+    if not solver.add_cnf(cnf):
+        return SatResult(SatStatus.UNSAT)
+    return solver.solve(assumptions=assumptions, max_conflicts=max_conflicts)

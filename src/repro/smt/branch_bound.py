@@ -1,0 +1,88 @@
+"""Integer feasibility by branch & bound over the exact simplex.
+
+The noise variables of the FANNet query are integer percentages; the LP
+relaxation may answer with fractional values.  Branch & bound splits on a
+fractional integer variable (``x ≤ ⌊v⌋`` / ``x ≥ ⌈v⌉``) and recurses.
+Because every integer variable in our encodings carries finite bounds,
+the search tree is finite and the procedure is a decision procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import ceil, floor
+
+from ..errors import BudgetExceededError
+from .simplex import Simplex, SimplexResult
+
+
+@dataclass
+class IntegerFeasibilityResult:
+    feasible: bool
+    assignment: dict[int, Fraction] | None = None
+    nodes: int = 0
+
+    def __bool__(self):
+        return self.feasible
+
+
+def solve_integer_feasibility(
+    simplex: Simplex,
+    integer_vars: list[int],
+    node_budget: int = 100_000,
+) -> IntegerFeasibilityResult:
+    """Decide whether the current simplex constraints admit a solution
+    with every variable in ``integer_vars`` integral.
+
+    The simplex is restored to its entry state before returning.
+    """
+    counter = {"nodes": 0}
+
+    def recurse() -> dict[int, Fraction] | None:
+        counter["nodes"] += 1
+        if counter["nodes"] > node_budget:
+            raise BudgetExceededError(
+                f"branch & bound exceeded {node_budget} nodes", budget=node_budget
+            )
+        result: SimplexResult = simplex.check()
+        if not result.feasible:
+            return None
+        assignment = result.assignment
+        branch_var = None
+        branch_value = None
+        for var in integer_vars:
+            value = assignment[var]
+            if value.denominator != 1:
+                branch_var, branch_value = var, value
+                break
+        if branch_var is None:
+            return assignment
+
+        # Branch down: x <= floor(v).
+        simplex.push()
+        conflict = simplex.assert_upper(branch_var, Fraction(floor(branch_value)))
+        if conflict is None:
+            solution = recurse()
+            if solution is not None:
+                simplex.pop()
+                return solution
+        simplex.pop()
+
+        # Branch up: x >= ceil(v).
+        simplex.push()
+        conflict = simplex.assert_lower(branch_var, Fraction(ceil(branch_value)))
+        if conflict is None:
+            solution = recurse()
+            if solution is not None:
+                simplex.pop()
+                return solution
+        simplex.pop()
+        return None
+
+    solution = recurse()
+    return IntegerFeasibilityResult(
+        feasible=solution is not None,
+        assignment=solution,
+        nodes=counter["nodes"],
+    )

@@ -1,0 +1,174 @@
+"""Linear expressions and constraints over exact rationals.
+
+Only *non-strict* relations are supported.  Every constraint the NN
+verification pipeline produces is non-strict by construction: the
+misclassification condition mirrors the argmax tie-break (``L1 ≥ L0``),
+ReLU phase splits are ``n ≥ 0`` / ``n ≤ 0``, and the noise variables are
+integers, where a strict bound can always be tightened to a non-strict
+one.  Refusing strict relations keeps the simplex free of infinitesimals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Mapping
+
+from ..errors import SmtError
+from ..rational import to_fraction
+
+
+class Relation(Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class LinExpr:
+    """Immutable linear expression ``Σ coeff_i · var_i + constant``.
+
+    Variables are opaque hashable keys (the verifier uses strings such as
+    ``"p0"`` or ``"n1_7"``).
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping | None = None, constant=0):
+        clean: dict = {}
+        if coeffs:
+            for var, coeff in coeffs.items():
+                value = to_fraction(coeff)
+                if value != 0:
+                    clean[var] = value
+        self.coeffs: dict = clean
+        self.constant: Fraction = to_fraction(constant)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def var(name, coeff=1) -> "LinExpr":
+        return LinExpr({name: coeff})
+
+    @staticmethod
+    def const(value) -> "LinExpr":
+        return LinExpr({}, value)
+
+    # -- algebra ----------------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = _as_expr(other)
+        coeffs = dict(self.coeffs)
+        for var, coeff in other.coeffs.items():
+            coeffs[var] = coeffs.get(var, Fraction(0)) + coeff
+        return LinExpr(coeffs, self.constant + other.constant)
+
+    def __radd__(self, other) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (_as_expr(other) * -1)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return _as_expr(other) - self
+
+    def __mul__(self, scalar) -> "LinExpr":
+        k = to_fraction(scalar)
+        return LinExpr({v: c * k for v, c in self.coeffs.items()}, self.constant * k)
+
+    def __rmul__(self, scalar) -> "LinExpr":
+        return self.__mul__(scalar)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1
+
+    # -- relations ------------------------------------------------------------------
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - _as_expr(other), Relation.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - _as_expr(other), Relation.GE)
+
+    def eq(self, other) -> "Constraint":
+        """Equality constraint (named method: ``==`` must stay Python equality)."""
+        return Constraint(self - _as_expr(other), Relation.EQ)
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping) -> Fraction:
+        total = self.constant
+        for var, coeff in self.coeffs.items():
+            if var not in assignment:
+                raise SmtError(f"assignment missing variable {var!r}")
+            total += coeff * to_fraction(assignment[var])
+        return total
+
+    def variables(self) -> set:
+        return set(self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LinExpr)
+            and self.coeffs == other.coeffs
+            and self.constant == other.constant
+        )
+
+    def __hash__(self):
+        return hash((frozenset(self.coeffs.items()), self.constant))
+
+    def __repr__(self):
+        if not self.coeffs:
+            return f"LinExpr({self.constant})"
+        terms = " + ".join(f"{c}*{v}" for v, c in sorted(self.coeffs.items(), key=lambda kv: str(kv[0])))
+        if self.constant:
+            terms += f" + {self.constant}"
+        return f"LinExpr({terms})"
+
+
+def _as_expr(value) -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    return LinExpr.const(value)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Normal-form constraint: ``expr REL 0``."""
+
+    expr: LinExpr
+    relation: Relation
+
+    def satisfied_by(self, assignment: Mapping) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.relation is Relation.LE:
+            return value <= 0
+        if self.relation is Relation.GE:
+            return value >= 0
+        return value == 0
+
+    def negated(self) -> "Constraint":
+        """Negation, exact only for integer-valued expressions.
+
+        ``¬(e ≤ 0)`` is ``e > 0``; when every variable is integer-valued
+        and all coefficients are integers this equals ``e ≥ 1``.  The
+        caller is responsible for integrality (checked loosely here).
+        """
+        if self.relation is Relation.EQ:
+            raise SmtError("cannot negate an equality into a single constraint")
+        if any(c.denominator != 1 for c in self.expr.coeffs.values()) or (
+            self.expr.constant.denominator != 1
+        ):
+            raise SmtError("exact negation requires integer coefficients")
+        if self.relation is Relation.LE:
+            # ¬(e <= 0)  ==  e >= 1
+            return Constraint(self.expr - 1, Relation.GE)
+        # ¬(e >= 0)  ==  e <= -1
+        return Constraint(self.expr + 1, Relation.LE)
+
+    def __repr__(self):
+        return f"{self.expr!r} {self.relation.value} 0"

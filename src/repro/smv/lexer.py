@@ -1,0 +1,147 @@
+"""Lexer for the SMV subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import SmvSyntaxError
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "MODULE",
+    "VAR",
+    "DEFINE",
+    "ASSIGN",
+    "INVARSPEC",
+    "LTLSPEC",
+    "init",
+    "next",
+    "case",
+    "esac",
+    "boolean",
+    "TRUE",
+    "FALSE",
+    "mod",
+    "union",
+    "in",
+    "G",
+    "F",
+    "X",
+    "U",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<->",
+    "->",
+    ":=",
+    "<=",
+    ">=",
+    "!=",
+    "..",
+    "=",
+    "<",
+    ">",
+    "!",
+    "&",
+    "|",
+    "+",
+    "-",
+    "*",
+    "/",
+]
+
+PUNCTUATION = {"(", ")", "{", "}", ";", ":", ",", "[", "]"}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise SMV source text; comments run from ``--`` to end of line."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    position = 0
+    length = len(source)
+
+    while position < length:
+        char = source[position]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if source.startswith("--", position):
+            while position < length and source[position] != "\n":
+                position += 1
+            continue
+
+        if char.isdigit():
+            start = position
+            while position < length and source[position].isdigit():
+                position += 1
+            # Guard: "12..15" must not swallow the dots.
+            text = source[start:position]
+            tokens.append(Token(TokenType.NUMBER, text, line, column))
+            column += position - start
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] in "_$#."):
+                # Dots inside identifiers are allowed in SMV (hierarchies);
+                # ".." never matches because ranges follow numbers.
+                if source.startswith("..", position):
+                    break
+                position += 1
+            text = source[start:position]
+            token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(token_type, text, line, column))
+            column += position - start
+            continue
+
+        matched_operator = None
+        for operator in OPERATORS:
+            if source.startswith(operator, position):
+                matched_operator = operator
+                break
+        if matched_operator:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, line, column))
+            position += len(matched_operator)
+            column += len(matched_operator)
+            continue
+
+        if char in PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCT, char, line, column))
+            position += 1
+            column += 1
+            continue
+
+        raise SmvSyntaxError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,378 @@
+"""Recursive-descent parser for the SMV subset.
+
+Operator precedence follows the nuXmv manual (low to high):
+``<->``, ``->`` (right-assoc), ``|``, ``&``, comparisons, ``union``,
+``+ -``, ``* / mod``, unary ``- !``.
+"""
+
+from __future__ import annotations
+
+from ..errors import SmvSyntaxError
+from .ast import (
+    Assignments,
+    BinOp,
+    BoolLit,
+    BoolType,
+    Call,
+    CaseExpr,
+    EnumType,
+    Expr,
+    Ident,
+    IntLit,
+    LtlBin,
+    LtlExpr,
+    LtlProp,
+    LtlUnary,
+    RangeType,
+    SetExpr,
+    SmvModule,
+    TypeSpec,
+    UnaryOp,
+)
+from .lexer import Token, TokenType, tokenize
+
+_BUILTIN_FUNCTIONS = {"max", "min", "abs"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, value: str) -> Token:
+        token = self.peek()
+        if token.value != value:
+            raise SmvSyntaxError(
+                f"expected {value!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def accept(self, value: str) -> bool:
+        if self.peek().value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise SmvSyntaxError(
+                f"expected identifier, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    # -- module structure ------------------------------------------------------
+
+    def parse_module(self) -> SmvModule:
+        self.expect("MODULE")
+        name = self.expect_ident().value
+        module = SmvModule(name=name)
+        while self.peek().type is not TokenType.EOF:
+            token = self.peek()
+            if token.value == "VAR":
+                self.advance()
+                self._parse_var_section(module)
+            elif token.value == "DEFINE":
+                self.advance()
+                self._parse_define_section(module)
+            elif token.value == "ASSIGN":
+                self.advance()
+                self._parse_assign_section(module)
+            elif token.value == "INVARSPEC":
+                self.advance()
+                module.invarspecs.append(self.parse_expression())
+                self.accept(";")
+            elif token.value == "LTLSPEC":
+                self.advance()
+                module.ltlspecs.append(self.parse_ltl())
+                self.accept(";")
+            else:
+                raise SmvSyntaxError(
+                    f"unexpected token {token.value!r} at module level",
+                    token.line,
+                    token.column,
+                )
+        return module
+
+    def _parse_var_section(self, module: SmvModule) -> None:
+        while self.peek().type is TokenType.IDENT:
+            name = self.expect_ident().value
+            self.expect(":")
+            spec = self._parse_type()
+            self.expect(";")
+            if name in module.variables or name in module.defines:
+                raise SmvSyntaxError(f"duplicate symbol {name!r}")
+            module.variables[name] = spec
+
+    def _parse_type(self) -> TypeSpec:
+        token = self.peek()
+        if token.value == "boolean":
+            self.advance()
+            return BoolType()
+        if token.value == "{":
+            self.advance()
+            symbols = [self.expect_ident().value]
+            while self.accept(","):
+                symbols.append(self.expect_ident().value)
+            self.expect("}")
+            return EnumType(tuple(symbols))
+        low = self._parse_signed_int()
+        self.expect("..")
+        high = self._parse_signed_int()
+        try:
+            return RangeType(low, high)
+        except ValueError as err:
+            raise SmvSyntaxError(str(err), token.line, token.column) from None
+
+    def _parse_signed_int(self) -> int:
+        negative = self.accept("-")
+        token = self.peek()
+        if token.type is not TokenType.NUMBER:
+            raise SmvSyntaxError(
+                f"expected integer, found {token.value!r}", token.line, token.column
+            )
+        self.advance()
+        value = int(token.value)
+        return -value if negative else value
+
+    def _parse_define_section(self, module: SmvModule) -> None:
+        while self.peek().type is TokenType.IDENT:
+            name = self.expect_ident().value
+            self.expect(":=")
+            expr = self.parse_expression()
+            self.expect(";")
+            if name in module.variables or name in module.defines:
+                raise SmvSyntaxError(f"duplicate symbol {name!r}")
+            module.defines[name] = expr
+
+    def _parse_assign_section(self, module: SmvModule) -> None:
+        while self.peek().value in ("init", "next"):
+            kind = self.advance().value
+            self.expect("(")
+            name = self.expect_ident().value
+            self.expect(")")
+            self.expect(":=")
+            expr = self.parse_expression()
+            self.expect(";")
+            table = module.assigns.init if kind == "init" else module.assigns.next
+            if name in table:
+                raise SmvSyntaxError(f"duplicate {kind}() assignment for {name!r}")
+            table[name] = expr
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self._parse_iff()
+
+    def _parse_iff(self) -> Expr:
+        left = self._parse_implies()
+        while self.peek().value == "<->":
+            self.advance()
+            left = BinOp("<->", left, self._parse_implies())
+        return left
+
+    def _parse_implies(self) -> Expr:
+        left = self._parse_or()
+        if self.peek().value == "->":
+            self.advance()
+            return BinOp("->", left, self._parse_implies())  # right-assoc
+        return left
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.peek().value == "|":
+            self.advance()
+            left = BinOp("|", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self.peek().value == "&":
+            self.advance()
+            left = BinOp("&", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        if self.peek().value in ("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            return BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.peek().value in ("+", "-"):
+            op = self.advance().value
+            left = BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self.peek().value in ("*", "/", "mod"):
+            op = self.advance().value
+            left = BinOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.value == "-":
+            self.advance()
+            operand = self._parse_unary()
+            if isinstance(operand, IntLit):
+                return IntLit(-operand.value)  # fold negative literals
+            return UnaryOp("-", operand)
+        if token.value == "!":
+            self.advance()
+            return UnaryOp("!", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return IntLit(int(token.value))
+        if token.value == "TRUE":
+            self.advance()
+            return BoolLit(True)
+        if token.value == "FALSE":
+            self.advance()
+            return BoolLit(False)
+        if token.value == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        if token.value == "case":
+            return self._parse_case()
+        if token.value == "{":
+            self.advance()
+            items = [self.parse_expression()]
+            while self.accept(","):
+                items.append(self.parse_expression())
+            self.expect("}")
+            return SetExpr(tuple(items))
+        if token.type is TokenType.IDENT:
+            self.advance()
+            if token.value in _BUILTIN_FUNCTIONS and self.peek().value == "(":
+                self.advance()
+                args = [self.parse_expression()]
+                while self.accept(","):
+                    args.append(self.parse_expression())
+                self.expect(")")
+                return Call(token.value, tuple(args))
+            return Ident(token.value)
+        raise SmvSyntaxError(
+            f"unexpected token {token.value!r} in expression", token.line, token.column
+        )
+
+    def _parse_case(self) -> Expr:
+        self.expect("case")
+        branches = []
+        while self.peek().value != "esac":
+            guard = self.parse_expression()
+            self.expect(":")
+            result = self.parse_expression()
+            self.expect(";")
+            branches.append((guard, result))
+        self.expect("esac")
+        if not branches:
+            token = self.peek()
+            raise SmvSyntaxError("empty case expression", token.line, token.column)
+        return CaseExpr(tuple(branches))
+
+    # -- LTL -------------------------------------------------------------------------
+
+    def parse_ltl(self) -> LtlExpr:
+        return self._parse_ltl_implies()
+
+    def _parse_ltl_implies(self) -> LtlExpr:
+        left = self._parse_ltl_or()
+        if self.peek().value == "->":
+            self.advance()
+            return LtlBin("->", left, self._parse_ltl_implies())
+        return left
+
+    def _parse_ltl_or(self) -> LtlExpr:
+        left = self._parse_ltl_and()
+        while self.peek().value == "|":
+            self.advance()
+            left = LtlBin("|", left, self._parse_ltl_and())
+        return left
+
+    def _parse_ltl_and(self) -> LtlExpr:
+        left = self._parse_ltl_until()
+        while self.peek().value == "&":
+            self.advance()
+            left = LtlBin("&", left, self._parse_ltl_until())
+        return left
+
+    def _parse_ltl_until(self) -> LtlExpr:
+        left = self._parse_ltl_unary()
+        while self.peek().value == "U":
+            self.advance()
+            left = LtlBin("U", left, self._parse_ltl_unary())
+        return left
+
+    def _parse_ltl_unary(self) -> LtlExpr:
+        token = self.peek()
+        if token.value in ("G", "F", "X"):
+            self.advance()
+            return LtlUnary(token.value, self._parse_ltl_unary())
+        if token.value == "!":
+            # Try propositional first (e.g. "!done"); fall back to LTL negation.
+            saved = self.position
+            try:
+                return LtlProp(self._parse_comparison_entry())
+            except SmvSyntaxError:
+                self.position = saved
+            self.advance()
+            return LtlUnary("!", self._parse_ltl_unary())
+        return self._parse_ltl_atom()
+
+    def _parse_ltl_atom(self) -> LtlExpr:
+        # Ordered choice: a propositional expression wins when it parses;
+        # otherwise the parenthesis opens a temporal subformula.
+        saved = self.position
+        try:
+            return LtlProp(self._parse_comparison_entry())
+        except SmvSyntaxError:
+            self.position = saved
+        self.expect("(")
+        inner = self.parse_ltl()
+        self.expect(")")
+        return inner
+
+    def _parse_comparison_entry(self) -> Expr:
+        """Propositional atom for LTL: comparison level and below."""
+        return self._parse_comparison()
+
+
+def parse_module(source: str) -> SmvModule:
+    """Parse SMV source text into a module AST."""
+    parser = _Parser(tokenize(source))
+    module = parser.parse_module()
+    return module
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone SMV expression (used in tests and the CLI)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expression()
+    trailing = parser.peek()
+    if trailing.type is not TokenType.EOF:
+        raise SmvSyntaxError(
+            f"trailing input {trailing.value!r}", trailing.line, trailing.column
+        )
+    return expr

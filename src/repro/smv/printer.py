@@ -1,0 +1,125 @@
+"""Pretty-printer: module AST back to SMV source.
+
+``parse_module(print_module(m))`` reproduces ``m`` (round-trip property
+covered by the test suite) — this is also the path used to emit the
+translated NN models to ``.smv`` files for inspection.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .ast import (
+    BinOp,
+    BoolLit,
+    BoolType,
+    Call,
+    CaseExpr,
+    EnumType,
+    Expr,
+    Ident,
+    IntLit,
+    LtlBin,
+    LtlExpr,
+    LtlProp,
+    LtlUnary,
+    RangeType,
+    SetExpr,
+    SmvModule,
+    UnaryOp,
+)
+
+# Binding strength per operator, mirroring the parser levels.
+_PRECEDENCE = {
+    "<->": 1,
+    "->": 2,
+    "|": 3,
+    "&": 4,
+    "=": 5,
+    "!=": 5,
+    "<": 5,
+    "<=": 5,
+    ">": 5,
+    ">=": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+    "mod": 7,
+}
+_UNARY_PRECEDENCE = 8
+
+
+def print_expression(expr: Expr) -> str:
+    """Render an expression with minimal parentheses."""
+    return _print(expr, 0)
+
+
+def _print(expr: Expr, min_precedence: int) -> str:
+    """Render ``expr``, parenthesising when its operator binds more loosely
+    than ``min_precedence`` requires."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, BoolLit):
+        return "TRUE" if expr.value else "FALSE"
+    if isinstance(expr, Ident):
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        inner = _print(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if _UNARY_PRECEDENCE < min_precedence else text
+    if isinstance(expr, BinOp):
+        precedence = _PRECEDENCE[expr.op]
+        if expr.op == "->":  # right-assoc
+            left = _print(expr.left, precedence + 1)
+            right = _print(expr.right, precedence)
+        else:  # left-assoc (comparisons are non-assoc: both sides tighter)
+            left = _print(expr.left, precedence if precedence != 5 else precedence + 1)
+            right = _print(expr.right, precedence + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if precedence < min_precedence else text
+    if isinstance(expr, Call):
+        args = ", ".join(_print(a, 0) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, CaseExpr):
+        lines = ["case"]
+        for guard, result in expr.branches:
+            lines.append(f"    {_print(guard, 0)} : {_print(result, 0)};")
+        lines.append("  esac")
+        return "\n  ".join(lines)
+    if isinstance(expr, SetExpr):
+        return "{" + ", ".join(_print(item, 0) for item in expr.items) + "}"
+    raise ReproError(f"cannot print expression node {type(expr).__name__}")
+
+
+def print_ltl(formula: LtlExpr) -> str:
+    if isinstance(formula, LtlProp):
+        return f"({print_expression(formula.expr)})"
+    if isinstance(formula, LtlUnary):
+        return f"{formula.op} {print_ltl(formula.operand)}"
+    if isinstance(formula, LtlBin):
+        return f"({print_ltl(formula.left)} {formula.op} {print_ltl(formula.right)})"
+    raise ReproError(f"cannot print LTL node {type(formula).__name__}")
+
+
+def print_module(module: SmvModule) -> str:
+    """Render a full module as SMV source."""
+    lines = [f"MODULE {module.name}"]
+    if module.variables:
+        lines.append("VAR")
+        for name, spec in module.variables.items():
+            lines.append(f"  {name} : {spec!r};")
+    if module.defines:
+        lines.append("DEFINE")
+        for name, expr in module.defines.items():
+            lines.append(f"  {name} := {print_expression(expr)};")
+    if module.assigns.init or module.assigns.next:
+        lines.append("ASSIGN")
+        for name, expr in module.assigns.init.items():
+            lines.append(f"  init({name}) := {print_expression(expr)};")
+        for name, expr in module.assigns.next.items():
+            lines.append(f"  next({name}) := {print_expression(expr)};")
+    for spec in module.invarspecs:
+        lines.append(f"INVARSPEC {print_expression(spec)};")
+    for spec in module.ltlspecs:
+        lines.append(f"LTLSPEC {print_ltl(spec)};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,229 @@
+"""Static checks for SMV modules.
+
+Catches the errors nuXmv would reject at load time: undeclared symbols,
+assignments to defines, boolean/integer confusion, enum misuse, circular
+DEFINE chains, and out-of-domain initial values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import SmvTypeError
+from .ast import (
+    BinOp,
+    BoolLit,
+    BoolType,
+    Call,
+    CaseExpr,
+    EnumType,
+    Expr,
+    Ident,
+    IntLit,
+    LtlBin,
+    LtlExpr,
+    LtlProp,
+    LtlUnary,
+    RangeType,
+    SetExpr,
+    SmvModule,
+    UnaryOp,
+)
+
+
+class SmvType(Enum):
+    BOOL = "boolean"
+    INT = "integer"
+    ENUM = "enum"
+
+
+_ARITHMETIC_OPS = {"+", "-", "*", "/", "mod"}
+_COMPARISON_OPS = {"<", "<=", ">", ">="}
+_EQUALITY_OPS = {"=", "!="}
+_BOOLEAN_OPS = {"&", "|", "->", "<->"}
+
+
+@dataclass
+class TypeChecker:
+    """Infers expression types against a module's symbol table."""
+
+    module: SmvModule
+
+    def __post_init__(self):
+        self._enum_symbols: dict[str, str] = {}
+        for var, spec in self.module.variables.items():
+            if isinstance(spec, EnumType):
+                for symbol in spec.symbols:
+                    if symbol in self.module.variables:
+                        raise SmvTypeError(
+                            f"enum symbol {symbol!r} collides with variable name"
+                        )
+                    self._enum_symbols[symbol] = var
+        self._define_types: dict[str, SmvType] = {}
+        self._checking: set[str] = set()
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self) -> None:
+        """Check the entire module; raises :class:`SmvTypeError`."""
+        for name in self.module.defines:
+            self._define_type(name)
+        for name, expr in self.module.assigns.init.items():
+            self._check_assignment(name, expr, "init")
+        for name, expr in self.module.assigns.next.items():
+            self._check_assignment(name, expr, "next")
+        for spec in self.module.invarspecs:
+            if self.type_of(spec) is not SmvType.BOOL:
+                raise SmvTypeError("INVARSPEC must be boolean")
+        for spec in self.module.ltlspecs:
+            self._check_ltl(spec)
+
+    def type_of(self, expr: Expr) -> SmvType:
+        """Infer the type of ``expr`` (set expressions not allowed here)."""
+        if isinstance(expr, SetExpr):
+            raise SmvTypeError("set expression only allowed in assignments")
+        return self._infer(expr)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_assignment(self, name: str, expr: Expr, kind: str) -> None:
+        if name in self.module.defines:
+            raise SmvTypeError(f"cannot assign to DEFINE symbol {name!r}")
+        if name not in self.module.variables:
+            raise SmvTypeError(f"{kind}() assignment to undeclared variable {name!r}")
+        self._check_rhs(expr, self._var_type(name), f"{kind}({name})")
+
+    def _check_rhs(self, expr: Expr, target: SmvType, where: str) -> None:
+        """Assignment right-hand sides may nest set choices inside case
+        results — mirror the evaluator's structure."""
+        if isinstance(expr, SetExpr):
+            for item in expr.items:
+                self._check_rhs(item, target, where)
+            return
+        if isinstance(expr, CaseExpr):
+            has_set = any(
+                isinstance(result, (SetExpr, CaseExpr)) for _, result in expr.branches
+            )
+            if has_set:
+                for guard, result in expr.branches:
+                    if self._infer(guard) is not SmvType.BOOL:
+                        raise SmvTypeError("case guard must be boolean")
+                    self._check_rhs(result, target, where)
+                return
+        inferred = self._infer(expr)
+        if inferred is not target:
+            raise SmvTypeError(
+                f"{where} expects {target.value}, got {inferred.value}"
+            )
+
+    def _var_type(self, name: str) -> SmvType:
+        spec = self.module.variables[name]
+        if isinstance(spec, BoolType):
+            return SmvType.BOOL
+        if isinstance(spec, RangeType):
+            return SmvType.INT
+        return SmvType.ENUM
+
+    def _define_type(self, name: str) -> SmvType:
+        if name in self._define_types:
+            return self._define_types[name]
+        if name in self._checking:
+            raise SmvTypeError(f"circular DEFINE involving {name!r}")
+        self._checking.add(name)
+        inferred = self._infer(self.module.defines[name])
+        self._checking.discard(name)
+        self._define_types[name] = inferred
+        return inferred
+
+    def _infer(self, expr: Expr) -> SmvType:
+        if isinstance(expr, IntLit):
+            return SmvType.INT
+        if isinstance(expr, BoolLit):
+            return SmvType.BOOL
+        if isinstance(expr, Ident):
+            name = expr.name
+            if name in self.module.variables:
+                return self._var_type(name)
+            if name in self.module.defines:
+                return self._define_type(name)
+            if name in self._enum_symbols:
+                return SmvType.ENUM
+            raise SmvTypeError(f"undeclared symbol {name!r}")
+        if isinstance(expr, UnaryOp):
+            operand = self._infer(expr.operand)
+            if expr.op == "-":
+                if operand is not SmvType.INT:
+                    raise SmvTypeError("unary '-' needs an integer operand")
+                return SmvType.INT
+            if operand is not SmvType.BOOL:
+                raise SmvTypeError("'!' needs a boolean operand")
+            return SmvType.BOOL
+        if isinstance(expr, BinOp):
+            left = self._infer(expr.left)
+            right = self._infer(expr.right)
+            if expr.op in _ARITHMETIC_OPS:
+                if left is not SmvType.INT or right is not SmvType.INT:
+                    raise SmvTypeError(f"'{expr.op}' needs integer operands")
+                return SmvType.INT
+            if expr.op in _COMPARISON_OPS:
+                if left is not SmvType.INT or right is not SmvType.INT:
+                    raise SmvTypeError(f"'{expr.op}' needs integer operands")
+                return SmvType.BOOL
+            if expr.op in _EQUALITY_OPS:
+                if left is not right:
+                    raise SmvTypeError(
+                        f"'{expr.op}' operands have different types "
+                        f"({left.value} vs {right.value})"
+                    )
+                return SmvType.BOOL
+            if expr.op in _BOOLEAN_OPS:
+                if left is not SmvType.BOOL or right is not SmvType.BOOL:
+                    raise SmvTypeError(f"'{expr.op}' needs boolean operands")
+                return SmvType.BOOL
+            raise SmvTypeError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, Call):
+            if expr.func in ("max", "min"):
+                if len(expr.args) < 2:
+                    raise SmvTypeError(f"{expr.func}() needs at least two arguments")
+            elif expr.func == "abs":
+                if len(expr.args) != 1:
+                    raise SmvTypeError("abs() needs exactly one argument")
+            else:
+                raise SmvTypeError(f"unknown function {expr.func!r}")
+            for arg in expr.args:
+                if self._infer(arg) is not SmvType.INT:
+                    raise SmvTypeError(f"{expr.func}() needs integer arguments")
+            return SmvType.INT
+        if isinstance(expr, CaseExpr):
+            result_type: SmvType | None = None
+            for guard, result in expr.branches:
+                if self._infer(guard) is not SmvType.BOOL:
+                    raise SmvTypeError("case guard must be boolean")
+                branch_type = self._infer(result)
+                if result_type is None:
+                    result_type = branch_type
+                elif branch_type is not result_type:
+                    raise SmvTypeError("case branches disagree on type")
+            assert result_type is not None  # parser rejects empty case
+            return result_type
+        if isinstance(expr, SetExpr):
+            raise SmvTypeError("set expression only allowed in assignments")
+        raise SmvTypeError(f"unknown expression node {type(expr).__name__}")
+
+    def _check_ltl(self, formula: LtlExpr) -> None:
+        if isinstance(formula, LtlProp):
+            if self.type_of(formula.expr) is not SmvType.BOOL:
+                raise SmvTypeError("LTL atom must be boolean")
+        elif isinstance(formula, LtlUnary):
+            self._check_ltl(formula.operand)
+        elif isinstance(formula, LtlBin):
+            self._check_ltl(formula.left)
+            self._check_ltl(formula.right)
+        else:
+            raise SmvTypeError(f"unknown LTL node {type(formula).__name__}")
+
+
+def check_module(module: SmvModule) -> None:
+    """Type-check ``module``; raises :class:`SmvTypeError` on problems."""
+    TypeChecker(module).check()

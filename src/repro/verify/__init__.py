@@ -1,0 +1,51 @@
+"""Neural-network verification engines (system S9 in DESIGN.md).
+
+The FANNet query (§IV-B of the paper): given a quantised network, a test
+input ``x`` with true label ``Sx`` and an integer-percent noise range,
+does some noise vector ``p`` make ``f(x·(100+p)/100) ≠ Sx``?
+
+Engines, ordered by the guarantees they offer:
+
+- :class:`ExhaustiveEnumerator` — exact integer evaluation of *every*
+  noise vector (vectorised int64 with overflow guard); ground truth for
+  small ranges.
+- :class:`IntervalVerifier` — interval bound propagation; proves
+  robustness (UNSAT) quickly, never finds counterexamples.
+- :class:`RandomFalsifier` / :class:`CornerFalsifier` — find
+  counterexamples quickly, never prove robustness.
+- :class:`SmtVerifier` — complete: ReLU phase splitting over the exact
+  rational simplex with integer branch & bound (Reluplex-style).
+- :class:`MilpVerifier` — complete in practice: big-M MILP with scipy
+  (HiGHS) LP relaxations, float-tolerant pruning, and exact recheck of
+  every candidate model.
+- :class:`PortfolioVerifier` — interval ⇒ falsifiers ⇒ complete engine;
+  the default used by the FANNet pipeline.
+
+All engines consume the same :class:`ScaledQuery` built by
+:func:`build_query`, whose arithmetic is integer-exact by construction.
+"""
+
+from .encoder import ScaledQuery, build_query
+from .result import VerificationResult, VerificationStatus
+from .interval import IntervalVerifier
+from .exhaustive import ExhaustiveEnumerator
+from .falsify import CornerFalsifier, RandomFalsifier
+from .smt_verifier import SmtVerifier
+from .milp_verifier import MilpVerifier
+from .portfolio import PortfolioVerifier
+from .enumerate import NoiseVectorCollector
+
+__all__ = [
+    "ScaledQuery",
+    "build_query",
+    "VerificationResult",
+    "VerificationStatus",
+    "IntervalVerifier",
+    "ExhaustiveEnumerator",
+    "RandomFalsifier",
+    "CornerFalsifier",
+    "SmtVerifier",
+    "MilpVerifier",
+    "PortfolioVerifier",
+    "NoiseVectorCollector",
+]

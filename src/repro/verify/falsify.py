@@ -1,0 +1,105 @@
+"""Falsifiers: fast counterexample search without completeness.
+
+These play the role adversarial-attack baselines play against formal
+tools: when a misclassifying noise vector exists they usually find one in
+milliseconds, letting the portfolio skip the complete engines.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from .encoder import ScaledQuery
+from .result import VerificationResult, VerificationStatus
+
+
+class RandomFalsifier:
+    """Uniform random sampling of the noise box."""
+
+    name = "random-falsifier"
+
+    def __init__(self, samples: int = 4096, seed: int = 0, batch: int = 512):
+        self.samples = samples
+        self.seed = seed
+        self.batch = batch
+
+    def verify(self, query: ScaledQuery) -> VerificationResult:
+        """VULNERABLE with a witness, or UNKNOWN — never ROBUST."""
+        rng = np.random.default_rng(self.seed)
+        remaining = self.samples
+        tried = 0
+        while remaining > 0:
+            block_size = min(self.batch, remaining)
+            remaining -= block_size
+            block = np.stack(
+                [
+                    rng.integers(int(lo), int(hi) + 1, size=block_size, dtype=np.int64)
+                    for lo, hi in zip(query.low, query.high)
+                ],
+                axis=1,
+            )
+            labels = query.labels_for_batch(block)
+            tried += block_size
+            bad = np.nonzero(labels != query.true_label)[0]
+            if bad.size:
+                return VerificationResult(
+                    VerificationStatus.VULNERABLE,
+                    witness=tuple(int(v) for v in block[bad[0]]),
+                    predicted_label=int(labels[bad[0]]),
+                    engine=self.name,
+                    nodes_explored=tried,
+                )
+        return VerificationResult(
+            VerificationStatus.UNKNOWN, engine=self.name, nodes_explored=tried
+        )
+
+
+class CornerFalsifier:
+    """Tries the corners of the noise box (optionally with midpoints).
+
+    Piecewise-linear networks attain extreme logit differences at box
+    corners far more often than in the interior, so this tiny search
+    catches most vulnerable inputs.
+    """
+
+    name = "corner-falsifier"
+
+    def __init__(self, include_midpoints: bool = True, max_corners: int = 4096):
+        self.include_midpoints = include_midpoints
+        self.max_corners = max_corners
+
+    def verify(self, query: ScaledQuery) -> VerificationResult:
+        values_per_node = []
+        for lo, hi in zip(query.low, query.high):
+            lo, hi = int(lo), int(hi)
+            options = {lo, hi}
+            if self.include_midpoints:
+                options.add((lo + hi) // 2)
+            values_per_node.append(sorted(options))
+
+        total = 1
+        for options in values_per_node:
+            total *= len(options)
+        if total > self.max_corners:
+            return VerificationResult(
+                VerificationStatus.UNKNOWN, engine=self.name, nodes_explored=0
+            )
+
+        block = np.array(list(product(*values_per_node)), dtype=np.int64)
+        labels = query.labels_for_batch(block)
+        bad = np.nonzero(labels != query.true_label)[0]
+        if bad.size:
+            return VerificationResult(
+                VerificationStatus.VULNERABLE,
+                witness=tuple(int(v) for v in block[bad[0]]),
+                predicted_label=int(labels[bad[0]]),
+                engine=self.name,
+                nodes_explored=int(block.shape[0]),
+            )
+        return VerificationResult(
+            VerificationStatus.UNKNOWN,
+            engine=self.name,
+            nodes_explored=int(block.shape[0]),
+        )

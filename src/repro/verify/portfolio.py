@@ -1,0 +1,63 @@
+"""Portfolio verifier: cheap engines first, complete engine last.
+
+The schedule mirrors how the paper's workflow spends effort: most
+(input, noise-range) queries are either clearly robust (interval proof in
+microseconds) or clearly vulnerable (a falsifier finds a witness), and
+only the thin boundary band needs the complete solver.
+"""
+
+from __future__ import annotations
+
+from ..config import VerifierConfig
+from .encoder import ScaledQuery
+from .exhaustive import ExhaustiveEnumerator
+from .falsify import CornerFalsifier, RandomFalsifier
+from .interval import IntervalVerifier
+from .result import VerificationResult, VerificationStatus
+from .smt_verifier import SmtVerifier
+
+
+class PortfolioVerifier:
+    """interval ⇒ corner/random falsifiers ⇒ exhaustive-or-SMT."""
+
+    name = "portfolio"
+
+    def __init__(
+        self,
+        config: VerifierConfig | None = None,
+        exhaustive_cutoff: int = 200_000,
+    ):
+        self.config = config or VerifierConfig()
+        self.exhaustive_cutoff = exhaustive_cutoff
+        self.interval = IntervalVerifier()
+        self.corner = CornerFalsifier()
+        self.random = RandomFalsifier(seed=self.config.seed)
+        self.exhaustive = ExhaustiveEnumerator()
+        self.smt = SmtVerifier(self.config)
+        self.stage_counts: dict[str, int] = {}
+
+    def verify(self, query: ScaledQuery) -> VerificationResult:
+        """Complete verdict; ``stats['stage']`` records the deciding engine."""
+        result = self.interval.verify(query)
+        if result.is_robust:
+            return self._record(result, "interval")
+
+        result = self.corner.verify(query)
+        if result.is_vulnerable:
+            return self._record(result, "corner")
+
+        result = self.random.verify(query)
+        if result.is_vulnerable:
+            return self._record(result, "random")
+
+        # Complete stage: enumeration when the box is small (it is usually
+        # faster than phase splitting there), SMT otherwise.
+        if query.noise_space_size() <= self.exhaustive_cutoff:
+            return self._record(self.exhaustive.verify(query), "exhaustive")
+        return self._record(self.smt.verify(query), "smt")
+
+    def _record(self, result: VerificationResult, stage: str) -> VerificationResult:
+        self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
+        result.stats["stage"] = stage
+        result.stats["portfolio"] = True
+        return result

@@ -1,0 +1,44 @@
+"""Verdict container shared by all verification engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class VerificationStatus(Enum):
+    #: No noise vector in the range can change the prediction (proof).
+    ROBUST = "robust"
+    #: A concrete misclassifying noise vector was found (witness).
+    VULNERABLE = "vulnerable"
+    #: The engine could not decide within its budget / ability.
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one noise-robustness query.
+
+    ``witness`` is the misclassifying integer noise-percent vector when
+    ``status`` is VULNERABLE; ``predicted_label`` is the wrong label the
+    network emits under that noise.
+    """
+
+    status: VerificationStatus
+    witness: tuple[int, ...] | None = None
+    predicted_label: int | None = None
+    engine: str = ""
+    nodes_explored: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def is_robust(self) -> bool:
+        return self.status is VerificationStatus.ROBUST
+
+    @property
+    def is_vulnerable(self) -> bool:
+        return self.status is VerificationStatus.VULNERABLE
+
+    def __repr__(self):
+        extra = f", witness={self.witness}" if self.witness else ""
+        return f"VerificationResult({self.status.value}, engine={self.engine!r}{extra})"

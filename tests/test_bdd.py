@@ -1,0 +1,194 @@
+"""Unit and property tests for the ROBDD manager."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BddManager
+from repro.errors import ModelCheckingError
+
+
+@pytest.fixture
+def manager():
+    return BddManager()
+
+
+class TestBasics:
+    def test_terminals(self, manager):
+        assert manager.true().is_true
+        assert manager.false().is_false
+
+    def test_var_evaluation(self, manager):
+        x = manager.var(0)
+        assert manager.evaluate(x.node, {0: True}) is True
+        assert manager.evaluate(x.node, {0: False}) is False
+
+    def test_and_or_not(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        conj = x & y
+        for vx, vy in product([False, True], repeat=2):
+            assert manager.evaluate(conj.node, {0: vx, 1: vy}) == (vx and vy)
+        disj = x | y
+        for vx, vy in product([False, True], repeat=2):
+            assert manager.evaluate(disj.node, {0: vx, 1: vy}) == (vx or vy)
+        assert (~x).node == manager.nvar(0).node
+
+    def test_structural_sharing(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        a = (x & y) | (x & y)
+        b = x & y
+        assert a.node == b.node
+
+    def test_xor_iff(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        for vx, vy in product([False, True], repeat=2):
+            assert manager.evaluate((x ^ y).node, {0: vx, 1: vy}) == (vx != vy)
+            assert manager.evaluate(x.iff(y).node, {0: vx, 1: vy}) == (vx == vy)
+
+    def test_implies(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        imp = x.implies(y)
+        assert manager.evaluate(imp.node, {0: True, 1: False}) is False
+        assert manager.evaluate(imp.node, {0: False, 1: False}) is True
+
+    def test_tautology_collapses_to_true(self, manager):
+        x = manager.var(0)
+        assert (x | ~x).is_true
+        assert (x & ~x).is_false
+
+    def test_cross_manager_mixing_rejected(self, manager):
+        other = BddManager()
+        with pytest.raises(ModelCheckingError):
+            _ = manager.var(0) & other.var(0)
+
+
+class TestQuantification:
+    def test_exists_removes_var(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = x & y
+        g = manager.exists([0], f.node)
+        assert manager.support(g) == {1}
+        assert manager.evaluate(g, {1: True}) is True
+        assert manager.evaluate(g, {1: False}) is False
+
+    def test_forall(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = (x | y).node
+        assert manager.forall([0], f) == y.node
+        assert manager.forall([0, 1], f) == 0
+
+    def test_exists_of_tautology(self, manager):
+        x = manager.var(0)
+        assert manager.exists([0], (x | ~x).node) == 1
+
+
+class TestRename:
+    def test_rename_shifts_levels(self, manager):
+        x0, x1 = manager.var(0), manager.var(2)
+        f = (x0 & x1).node
+        g = manager.rename(f, {0: 1, 2: 3})
+        assert manager.support(g) == {1, 3}
+
+    def test_rename_must_preserve_order(self, manager):
+        f = (manager.var(0) & manager.var(1)).node
+        with pytest.raises(ModelCheckingError):
+            manager.rename(f, {0: 5, 1: 2})
+
+
+class TestCounting:
+    def test_count_models_var(self, manager):
+        x = manager.var(0)
+        assert manager.count_models(x.node, 1) == 1
+        assert manager.count_models(x.node, 3) == 4  # two free vars
+
+    def test_count_models_terminal(self, manager):
+        assert manager.count_models(1, 4) == 16
+        assert manager.count_models(0, 4) == 0
+
+    def test_count_models_requires_covering_levels(self, manager):
+        x = manager.var(5)
+        with pytest.raises(ModelCheckingError):
+            manager.count_models(x.node, 2)
+
+    def test_sat_iter_enumerates_models(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        models = list(manager.sat_iter((x | y).node, [0, 1]))
+        assert len(models) == 3
+        assert {(m[0], m[1]) for m in models} == {
+            (False, True),
+            (True, False),
+            (True, True),
+        }
+
+
+def _truth_table(expr_fn, num_vars):
+    table = []
+    for values in product([False, True], repeat=num_vars):
+        table.append(expr_fn(values))
+    return table
+
+
+@st.composite
+def random_expression(draw, num_vars=4, max_depth=5):
+    """Build a random boolean function as (bdd_builder, python_evaluator)."""
+
+    def build(depth):
+        choice = draw(
+            st.sampled_from(
+                ["var", "const"] if depth >= max_depth else ["var", "not", "and", "or", "xor", "const"]
+            )
+        )
+        if choice == "var":
+            index = draw(st.integers(0, num_vars - 1))
+            return (
+                lambda m: m.var(index),
+                lambda vs: vs[index],
+            )
+        if choice == "const":
+            value = draw(st.booleans())
+            return (
+                (lambda m: m.true()) if value else (lambda m: m.false()),
+                lambda vs: value,
+            )
+        if choice == "not":
+            sub_b, sub_e = build(depth + 1)
+            return (lambda m: ~sub_b(m)), (lambda vs: not sub_e(vs))
+        left_b, left_e = build(depth + 1)
+        right_b, right_e = build(depth + 1)
+        if choice == "and":
+            return (lambda m: left_b(m) & right_b(m)), (lambda vs: left_e(vs) and right_e(vs))
+        if choice == "or":
+            return (lambda m: left_b(m) | right_b(m)), (lambda vs: left_e(vs) or right_e(vs))
+        return (lambda m: left_b(m) ^ right_b(m)), (lambda vs: left_e(vs) != right_e(vs))
+
+    return build(0)
+
+
+class TestAgainstTruthTables:
+    @given(random_expression())
+    @settings(max_examples=200, deadline=None)
+    def test_bdd_matches_python_semantics(self, pair):
+        build, evaluate = pair
+        manager = BddManager()
+        ref = build(manager)
+        for values in product([False, True], repeat=4):
+            assignment = dict(enumerate(values))
+            expected = bool(evaluate(values))
+            if ref.node <= 1:
+                assert (ref.node == 1) == expected
+            else:
+                assert manager.evaluate(ref.node, assignment) == expected
+
+    @given(random_expression())
+    @settings(max_examples=100, deadline=None)
+    def test_count_models_matches_truth_table(self, pair):
+        build, evaluate = pair
+        manager = BddManager()
+        ref = build(manager)
+        expected = sum(
+            bool(evaluate(values)) for values in product([False, True], repeat=4)
+        )
+        assert manager.count_models(ref.node, 4) == expected

@@ -1,0 +1,62 @@
+"""CLI smoke tests (fast paths only; `run` is covered by integration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "fannet" in capsys.readouterr().out
+
+    def test_train_saves_network(self, tmp_path, capsys):
+        out = tmp_path / "net.json"
+        assert main(["train", str(out)]) == 0
+        assert out.exists()
+        assert "trained" in capsys.readouterr().out
+
+    def test_translate_writes_smv(self, tmp_path, capsys):
+        out = tmp_path / "model.smv"
+        assert main(["translate", "--noise", "1", "--output", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("MODULE fannet")
+        assert "INVARSPEC" in text
+
+    def test_check_engine_on_generated_model(self, tmp_path, capsys):
+        model = tmp_path / "counter.smv"
+        model.write_text(
+            """
+MODULE main
+VAR
+  n : 0..3;
+ASSIGN
+  init(n) := 0;
+  next(n) := case n < 3 : n + 1; TRUE : 0; esac;
+INVARSPEC n <= 3;
+INVARSPEC n <= 1;
+"""
+        )
+        code = main(["check", str(model), "--engine", "explicit"])
+        out = capsys.readouterr().out
+        assert code == 1  # one property fails
+        assert "[HOLDS]" in out and "[VIOLATED]" in out
+        assert "State 0" in out  # counterexample trace printed
+
+    def test_check_model_without_specs(self, tmp_path, capsys):
+        model = tmp_path / "empty.smv"
+        model.write_text("MODULE main VAR x : boolean;")
+        assert main(["check", str(model)]) == 1
+
+    def test_check_reports_parse_error_gracefully(self, tmp_path, capsys):
+        model = tmp_path / "broken.smv"
+        model.write_text("MODULE main VAR x : ;")
+        assert main(["check", str(model)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_statespace_matches_paper(self, capsys):
+        assert main(["statespace", "--noise", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3 states, 6 transitions" in out

@@ -1,0 +1,245 @@
+"""Tests for the explicit, BDD and BMC/k-induction engines.
+
+The key property: all engines agree on every model/property pair,
+including randomly generated small modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelCheckingError
+from repro.mc import (
+    BddChecker,
+    BmcChecker,
+    ExplicitChecker,
+    KInduction,
+    Verdict,
+    ltl_to_invariant,
+)
+from repro.smv import parse_expression, parse_module
+
+SAFE_COUNTER = """
+MODULE main
+VAR
+  count : 0..7;
+ASSIGN
+  init(count) := 0;
+  next(count) := case
+      count < 5 : count + 1;
+      TRUE : 0;
+    esac;
+"""
+
+UNSAFE_COUNTER = """
+MODULE main
+VAR
+  count : 0..7;
+ASSIGN
+  init(count) := 0;
+  next(count) := case
+      count < 7 : count + 1;
+      TRUE : 7;
+    esac;
+"""
+
+MUTEX = """
+MODULE main
+VAR
+  a : {idle, trying, critical};
+  b : {idle, trying, critical};
+  turn : 0..1;
+ASSIGN
+  init(a) := idle;
+  init(b) := idle;
+  next(a) := case
+      a = idle : {idle, trying};
+      a = trying & (b != critical) & turn = 0 : critical;
+      a = critical : idle;
+      TRUE : a;
+    esac;
+  next(b) := case
+      b = idle : {idle, trying};
+      b = trying & (a != critical) & turn = 1 : critical;
+      b = critical : idle;
+      TRUE : b;
+    esac;
+  next(turn) := case
+      a = critical : 1;
+      b = critical : 0;
+      TRUE : turn;
+    esac;
+"""
+
+
+def prop(text: str):
+    return parse_expression(text)
+
+
+class TestExplicit:
+    def test_holds(self):
+        result = ExplicitChecker().check_invariant(
+            parse_module(SAFE_COUNTER), prop("count <= 5")
+        )
+        assert result.verdict is Verdict.HOLDS
+        assert result.states_explored == 6
+
+    def test_violated_with_shortest_trace(self):
+        result = ExplicitChecker().check_invariant(
+            parse_module(UNSAFE_COUNTER), prop("count < 4")
+        )
+        assert result.verdict is Verdict.VIOLATED
+        assert len(result.counterexample) == 5  # 0,1,2,3,4
+        assert result.counterexample.final["count"] == 4
+
+    def test_mutual_exclusion_holds(self):
+        result = ExplicitChecker().check_invariant(
+            parse_module(MUTEX), prop("!(a = critical & b = critical)")
+        )
+        assert result.verdict is Verdict.HOLDS
+
+    def test_trace_format(self):
+        result = ExplicitChecker().check_invariant(
+            parse_module(UNSAFE_COUNTER), prop("count < 2")
+        )
+        text = result.counterexample.format()
+        assert "State 0" in text and "count = 2" in text
+
+
+class TestBdd:
+    def test_holds(self):
+        result = BddChecker().check_invariant(
+            parse_module(SAFE_COUNTER), prop("count <= 5")
+        )
+        assert result.verdict is Verdict.HOLDS
+
+    def test_violated_trace_is_valid_execution(self):
+        module = parse_module(UNSAFE_COUNTER)
+        result = BddChecker().check_invariant(module, prop("count < 4"))
+        assert result.verdict is Verdict.VIOLATED
+        trace = result.counterexample
+        assert trace[0]["count"] == 0
+        # Each step increments by 1 in this deterministic model.
+        for before, after in zip(trace.states, trace.states[1:]):
+            assert after["count"] == before["count"] + 1
+        assert trace.final["count"] == 4
+
+    def test_mutex_holds(self):
+        result = BddChecker().check_invariant(
+            parse_module(MUTEX), prop("!(a = critical & b = critical)")
+        )
+        assert result.verdict is Verdict.HOLDS
+
+
+class TestBmc:
+    def test_finds_counterexample(self):
+        result = BmcChecker(max_bound=10).check_invariant(
+            parse_module(UNSAFE_COUNTER), prop("count < 4")
+        )
+        assert result.verdict is Verdict.VIOLATED
+        assert result.bound_reached == 4  # shortest depth
+        assert result.counterexample.final["count"] == 4
+
+    def test_unknown_when_bound_too_small(self):
+        result = BmcChecker(max_bound=3).check_invariant(
+            parse_module(UNSAFE_COUNTER), prop("count < 4")
+        )
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_safe_model_returns_unknown_not_holds(self):
+        result = BmcChecker(max_bound=8).check_invariant(
+            parse_module(SAFE_COUNTER), prop("count <= 5")
+        )
+        assert result.verdict is Verdict.UNKNOWN  # BMC cannot prove
+
+
+class TestKInduction:
+    def test_proves_safe_counter(self):
+        result = KInduction(max_k=10).check_invariant(
+            parse_module(SAFE_COUNTER), prop("count <= 5")
+        )
+        assert result.verdict is Verdict.HOLDS
+
+    def test_finds_violation(self):
+        result = KInduction(max_k=10).check_invariant(
+            parse_module(UNSAFE_COUNTER), prop("count < 4")
+        )
+        assert result.verdict is Verdict.VIOLATED
+        assert result.counterexample.final["count"] == 4
+
+    def test_proves_mutex(self):
+        result = KInduction(max_k=10).check_invariant(
+            parse_module(MUTEX), prop("!(a = critical & b = critical)")
+        )
+        assert result.verdict is Verdict.HOLDS
+
+
+class TestLtlBridge:
+    def test_g_formula_reduces_to_invariant(self):
+        module = parse_module(
+            SAFE_COUNTER + "LTLSPEC G (count <= 5);"
+        )
+        invariant = ltl_to_invariant(module.ltlspecs[0])
+        result = ExplicitChecker().check_invariant(module, invariant)
+        assert result.verdict is Verdict.HOLDS
+
+    def test_nested_temporal_rejected(self):
+        module = parse_module(
+            SAFE_COUNTER + "LTLSPEC G (F (count = 0));"
+        )
+        with pytest.raises(ModelCheckingError):
+            ltl_to_invariant(module.ltlspecs[0])
+
+    def test_non_g_rejected(self):
+        module = parse_module(SAFE_COUNTER + "LTLSPEC F (count = 5);")
+        with pytest.raises(ModelCheckingError):
+            ltl_to_invariant(module.ltlspecs[0])
+
+
+@st.composite
+def random_module_and_prop(draw):
+    """Small random transition system plus a random threshold property."""
+    domain_high = draw(st.integers(1, 4))
+    start = draw(st.integers(0, domain_high))
+    increment = draw(st.integers(1, 2))
+    wrap = draw(st.booleans())
+    threshold = draw(st.integers(0, domain_high))
+    reset_value = draw(st.integers(0, domain_high))
+    wrap_expr = str(reset_value) if wrap else "n"
+    text = f"""
+MODULE main
+VAR
+  n : 0..{domain_high};
+  flag : boolean;
+ASSIGN
+  init(n) := {start};
+  next(n) := case
+      flag & n + {increment} <= {domain_high} : n + {increment};
+      TRUE : {wrap_expr};
+    esac;
+"""
+    return text, f"n <= {threshold}"
+
+
+class TestCrossEngineAgreement:
+    @given(random_module_and_prop())
+    @settings(max_examples=60, deadline=None)
+    def test_three_engines_agree(self, pair):
+        text, property_text = pair
+        module = parse_module(text)
+        expr = prop(property_text)
+
+        explicit = ExplicitChecker().check_invariant(module, expr)
+        bdd = BddChecker().check_invariant(parse_module(text), expr)
+        induction = KInduction(max_k=15).check_invariant(parse_module(text), expr)
+
+        assert explicit.verdict is bdd.verdict
+        assert induction.verdict in (explicit.verdict, Verdict.UNKNOWN)
+        if explicit.verdict is Verdict.VIOLATED:
+            assert bdd.counterexample is not None
+            # BMC path must also find it.
+            bmc = BmcChecker(max_bound=15).check_invariant(parse_module(text), expr)
+            assert bmc.verdict is Verdict.VIOLATED
+            # Shortest counterexample lengths coincide (BFS vs BMC depth).
+            assert len(bmc.counterexample) == len(explicit.counterexample)

@@ -1,0 +1,119 @@
+"""Tests for the SMV model simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelCheckingError
+from repro.mc import ExplicitChecker
+from repro.mc.simulate import Simulator
+from repro.smv import parse_expression, parse_module
+
+COUNTER = """
+MODULE main
+VAR
+  count : 0..5;
+ASSIGN
+  init(count) := 0;
+  next(count) := case
+      count < 5 : count + 1;
+      TRUE : 0;
+    esac;
+"""
+
+NONDET = """
+MODULE main
+VAR
+  coin : 0..1;
+ASSIGN
+  init(coin) := 0;
+  next(coin) := {0, 1};
+"""
+
+DEADLOCK = """
+MODULE main
+VAR
+  n : 0..3;
+ASSIGN
+  init(n) := 3;
+  next(n) := n + 1;
+"""
+
+
+class TestSimulator:
+    def test_deterministic_model_trace(self):
+        trace = Simulator(parse_module(COUNTER)).random_trace(steps=7)
+        values = [s["count"] for s in trace.states]
+        assert values == [0, 1, 2, 3, 4, 5, 0, 1]
+
+    def test_nondeterministic_traces_vary(self):
+        simulator = Simulator(parse_module(NONDET), seed=3)
+        traces = simulator.random_traces(count=10, steps=6)
+        flattened = {tuple(s["coin"] for s in t.states) for t in traces}
+        assert len(flattened) > 1  # different random outcomes
+
+    def test_deadlock_detected(self):
+        simulator = Simulator(parse_module(DEADLOCK))
+        with pytest.raises(ModelCheckingError):
+            simulator.random_trace(steps=1)
+
+    def test_holds_on_trace(self):
+        simulator = Simulator(parse_module(COUNTER))
+        trace = simulator.random_trace(steps=4)
+        assert simulator.holds_on_trace(parse_expression("count <= 5"), trace)
+        assert not simulator.holds_on_trace(parse_expression("count < 3"), trace)
+
+    def test_violation_rate_agrees_with_checker(self):
+        module = parse_module(COUNTER)
+        simulator = Simulator(module, seed=1)
+        safe = parse_expression("count <= 5")
+        unsafe = parse_expression("count < 5")
+        assert simulator.estimate_violation_rate(safe, traces=20, steps=6) == 0.0
+        rate = simulator.estimate_violation_rate(unsafe, traces=20, steps=6)
+        assert rate > 0.0
+        # The real checker confirms both verdicts.
+        checker = ExplicitChecker()
+        assert checker.check_invariant(module, safe).holds
+        assert checker.check_invariant(module, unsafe).violated
+
+    def test_invalid_trace_count(self):
+        simulator = Simulator(parse_module(COUNTER))
+        with pytest.raises(ModelCheckingError):
+            simulator.estimate_violation_rate(parse_expression("count <= 5"), traces=0)
+
+    def test_nn_noise_model_simulation(self):
+        """Simulate the translated NN model: noise is re-drawn each step."""
+        import numpy as np
+
+        from repro.config import NoiseConfig
+        from repro.core import network_noise_module
+        from repro.nn.quantize import QuantizedLayer, QuantizedNetwork
+        from fractions import Fraction
+
+        network = QuantizedNetwork(
+            [
+                QuantizedLayer(
+                    ((Fraction(1), Fraction(-1)),), (Fraction(0),), relu=True
+                ),
+                QuantizedLayer(
+                    ((Fraction(1),), (Fraction(-1),)), (Fraction(0), Fraction(1)), relu=False
+                ),
+            ]
+        )
+        module, query = network_noise_module(
+            network, np.array([10, 9]), 0, NoiseConfig(2)
+        )
+        simulator = Simulator(module, seed=0)
+        trace = simulator.random_trace(steps=5)
+        assert trace.states[0]["phase"] == "initial"
+        assert all(s["phase"] == "eval" for s in trace.states[1:])
+        # Each visited noise vector's oc matches the exact evaluator.
+        from repro.fsm import evaluate_expression
+        from repro.smv.ast import Ident
+
+        for state in trace.states[1:]:
+            vector = tuple(state[f"p{i}"] for i in range(2))
+            assert (
+                evaluate_expression(Ident("oc"), state, module)
+                == query.predict_single(vector)
+            )

@@ -1,0 +1,128 @@
+"""Tests for the lazy DPLL(T) solver."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.smt import DpllTSolver, LinExpr, TheoryResult
+
+
+def make_solver():
+    return DpllTSolver()
+
+
+class TestDpllT:
+    def test_single_satisfiable_atom(self):
+        solver = make_solver()
+        solver.theory_var("x")
+        solver.set_bounds("x", lower=0, upper=10)
+        atom = solver.make_atom(LinExpr.var("x") >= 5)
+        solver.add_clause([atom.boolean_var])
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.SAT
+        assert model.values["x"] >= 5
+
+    def test_conflicting_atoms_unsat(self):
+        solver = make_solver()
+        solver.theory_var("x")
+        solver.set_bounds("x", lower=0, upper=10)
+        low = solver.make_atom(LinExpr.var("x") <= 2)
+        high = solver.make_atom(LinExpr.var("x") >= 8)
+        solver.add_clause([low.boolean_var])
+        solver.add_clause([high.boolean_var])
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.UNSAT
+
+    def test_disjunction_picks_feasible_branch(self):
+        solver = make_solver()
+        solver.theory_var("x")
+        solver.set_bounds("x", lower=0, upper=10)
+        impossible = solver.make_atom(LinExpr.var("x") >= 100)
+        possible = solver.make_atom(LinExpr.var("x") <= 3)
+        solver.add_clause([impossible.boolean_var, possible.boolean_var])
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.SAT
+        assert model.values["x"] <= 3
+
+    def test_negated_atom_integer_semantics(self):
+        # Clause: NOT (x <= 4)  -> over integers x >= 5.
+        solver = make_solver()
+        solver.theory_var("x", integer=True)
+        solver.set_bounds("x", lower=0, upper=10)
+        atom = solver.make_atom(LinExpr.var("x") <= 4)
+        solver.add_clause([-atom.boolean_var])
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.SAT
+        assert model.values["x"] >= 5
+        assert model.values["x"].denominator == 1
+
+    def test_explicit_negation_overlapping_phases(self):
+        # ReLU-style atom: pos n >= 0, neg n <= 0; both polarities feasible.
+        solver = make_solver()
+        solver.theory_var("n")
+        solver.set_bounds("n", lower=-5, upper=5)
+        atom = solver.make_atom(
+            LinExpr.var("n") >= 0, neg=LinExpr.var("n") <= 0
+        )
+        solver.add_clause([atom.boolean_var, -atom.boolean_var])  # tautology
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.SAT
+
+    def test_integer_feasibility_enforced(self):
+        # 2x == 5 with x integer: LP-feasible, integer-infeasible.
+        solver = make_solver()
+        solver.theory_var("x", integer=True)
+        solver.set_bounds("x", lower=0, upper=10)
+        atom = solver.make_atom(LinExpr({"x": 2}, -5).eq(0))
+        solver.add_clause([atom.boolean_var])
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.UNSAT
+
+    def test_mixed_boolean_and_theory(self):
+        solver = make_solver()
+        solver.theory_var("x")
+        solver.set_bounds("x", lower=0, upper=10)
+        flag = solver.new_bool()
+        atom_low = solver.make_atom(LinExpr.var("x") <= 2)
+        atom_high = solver.make_atom(LinExpr.var("x") >= 8)
+        # flag -> x <= 2 ; !flag -> x >= 8 ; force flag.
+        solver.add_clause([-flag, atom_low.boolean_var])
+        solver.add_clause([flag, atom_high.boolean_var])
+        solver.add_clause([flag])
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.SAT
+        assert model.values["x"] <= 2
+
+    def test_theory_conflict_learning_progress(self):
+        # Three pairwise-conflicting atoms; at least two must hold: UNSAT.
+        solver = make_solver()
+        solver.theory_var("x")
+        solver.set_bounds("x", lower=0, upper=30)
+        a = solver.make_atom(LinExpr.var("x") <= 5)
+        b = solver.make_atom((LinExpr.var("x") >= 10) )
+        c = solver.make_atom(LinExpr.var("x") >= 20)
+        # (a & b) | (a & c): both branches theory-conflicting.
+        aux1, aux2 = solver.new_bool(), solver.new_bool()
+        solver.add_clause([aux1, aux2])
+        for aux, (first, second) in ((aux1, (a, b)), (aux2, (a, c))):
+            solver.add_clause([-aux, first.boolean_var])
+            solver.add_clause([-aux, second.boolean_var])
+        verdict, _ = solver.solve()
+        assert verdict is TheoryResult.UNSAT
+        assert solver.theory_conflicts >= 1
+
+    def test_multi_variable_system(self):
+        # x + y <= 10, x - y >= 2, y >= 3  ->  x >= 5, x <= 7.
+        solver = make_solver()
+        for name in ("x", "y"):
+            solver.theory_var(name)
+            solver.set_bounds(name, lower=0, upper=20)
+        s1 = solver.make_atom(LinExpr({"x": 1, "y": 1}) <= 10)
+        s2 = solver.make_atom(LinExpr({"x": 1, "y": -1}) >= 2)
+        s3 = solver.make_atom(LinExpr.var("y") >= 3)
+        for atom in (s1, s2, s3):
+            solver.add_clause([atom.boolean_var])
+        verdict, model = solver.solve()
+        assert verdict is TheoryResult.SAT
+        x, y = model.values["x"], model.values["y"]
+        assert x + y <= 10 and x - y >= 2 and y >= 3

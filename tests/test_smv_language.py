@@ -1,0 +1,276 @@
+"""Tests for the SMV lexer, parser, printer and type checker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SmvSyntaxError, SmvTypeError
+from repro.smv import (
+    BinOp,
+    BoolLit,
+    BoolType,
+    CaseExpr,
+    EnumType,
+    Ident,
+    IntLit,
+    LtlBin,
+    LtlProp,
+    LtlUnary,
+    RangeType,
+    SetExpr,
+    check_module,
+    parse_expression,
+    parse_module,
+    print_expression,
+    print_module,
+    tokenize,
+)
+
+COUNTER = """
+MODULE main
+VAR
+  count : 0..7;      -- a counter
+  running : boolean;
+ASSIGN
+  init(count) := 0;
+  next(count) := case
+      running & count < 7 : count + 1;
+      TRUE : count;
+    esac;
+INVARSPEC count <= 7;
+LTLSPEC G (count >= 0);
+"""
+
+
+class TestLexer:
+    def test_comments_stripped(self):
+        tokens = tokenize("a -- comment\nb")
+        values = [t.value for t in tokens]
+        assert values == ["a", "b", ""]
+
+    def test_range_dots_not_in_identifier(self):
+        tokens = tokenize("0..7")
+        assert [t.value for t in tokens][:3] == ["0", "..", "7"]
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("a <-> b -> c := d <= e")
+        operators = [t.value for t in tokens if t.value in ("<->", "->", ":=", "<=")]
+        assert operators == ["<->", "->", ":=", "<="]
+
+    def test_bad_character(self):
+        with pytest.raises(SmvSyntaxError):
+            tokenize("a ? b")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+
+class TestParserExpressions:
+    def test_precedence_arith_over_comparison(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert isinstance(expr, BinOp) and expr.op == "<"
+        assert expr.left == BinOp("+", Ident("a"), IntLit(1))
+
+    def test_implication_right_assoc(self):
+        expr = parse_expression("a -> b -> c")
+        assert expr == BinOp("->", Ident("a"), BinOp("->", Ident("b"), Ident("c")))
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("a | b & c")
+        assert expr.op == "|"
+        assert expr.right == BinOp("&", Ident("b"), Ident("c"))
+
+    def test_case_expression(self):
+        expr = parse_expression("case a : 1; TRUE : 0; esac")
+        assert isinstance(expr, CaseExpr)
+        assert len(expr.branches) == 2
+        assert expr.branches[1][0] == BoolLit(True)
+
+    def test_set_expression(self):
+        expr = parse_expression("{1, 2, 3}")
+        assert isinstance(expr, SetExpr)
+        assert expr.items == (IntLit(1), IntLit(2), IntLit(3))
+
+    def test_max_call(self):
+        expr = parse_expression("max(0, a + b)")
+        assert expr.func == "max"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + 3")
+        assert expr.op == "+"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SmvSyntaxError):
+            parse_expression("a + 1 )")
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(SmvSyntaxError):
+            parse_expression("case esac")
+
+
+class TestParserModule:
+    def test_counter_module(self):
+        module = parse_module(COUNTER)
+        assert module.name == "main"
+        assert module.variables["count"] == RangeType(0, 7)
+        assert module.variables["running"] == BoolType()
+        assert "count" in module.assigns.init
+        assert "count" in module.assigns.next
+        assert len(module.invarspecs) == 1
+        assert len(module.ltlspecs) == 1
+
+    def test_enum_variable(self):
+        module = parse_module(
+            "MODULE main VAR state : {idle, busy, done};"
+        )
+        assert module.variables["state"] == EnumType(("idle", "busy", "done"))
+
+    def test_negative_range(self):
+        module = parse_module("MODULE main VAR p : -40..40;")
+        assert module.variables["p"] == RangeType(-40, 40)
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(SmvSyntaxError):
+            parse_module("MODULE main VAR x : boolean; x : boolean;")
+
+    def test_duplicate_assign_rejected(self):
+        with pytest.raises(SmvSyntaxError):
+            parse_module(
+                "MODULE main VAR x : boolean; ASSIGN init(x) := TRUE; init(x) := FALSE;"
+            )
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SmvSyntaxError):
+            parse_module("MODULE main VAR x : 5..2;")
+
+    def test_ltl_nested_operators(self):
+        module = parse_module(
+            "MODULE main VAR x : boolean; LTLSPEC G (x -> F x);"
+        )
+        formula = module.ltlspecs[0]
+        assert isinstance(formula, LtlUnary) and formula.op == "G"
+        inner = formula.operand
+        assert isinstance(inner, LtlBin) and inner.op == "->"
+        assert isinstance(inner.left, LtlProp)
+        assert isinstance(inner.right, LtlUnary) and inner.right.op == "F"
+
+    def test_ltl_parenthesised_arithmetic_atom(self):
+        module = parse_module(
+            "MODULE main VAR n : 0..9; LTLSPEC G ((n + 1) > 0);"
+        )
+        formula = module.ltlspecs[0]
+        assert isinstance(formula.operand, LtlProp)
+
+
+class TestPrinterRoundTrip:
+    def test_counter_round_trip(self):
+        module = parse_module(COUNTER)
+        printed = print_module(module)
+        reparsed = parse_module(printed)
+        assert reparsed.variables == module.variables
+        assert reparsed.assigns.init == module.assigns.init
+        assert reparsed.assigns.next == module.assigns.next
+        assert reparsed.invarspecs == module.invarspecs
+
+    def test_expression_round_trip_preserves_structure(self):
+        for text in (
+            "a + b * c",
+            "(a + b) * c",
+            "a -> b -> c",
+            "(a -> b) -> c",
+            "a & (b | c)",
+            "-(a + 1) < 3 & x",
+            "max(a, b, 3) - abs(c)",
+            "{0, 1, 2}",
+        ):
+            expr = parse_expression(text)
+            assert parse_expression(print_expression(expr)) == expr
+
+
+@st.composite
+def random_int_expression(draw, depth=0):
+    """Random integer-valued expression over variables a, b."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.sampled_from(["lit", "a", "b"]))
+        if choice == "lit":
+            return IntLit(draw(st.integers(-9, 9)))
+        return Ident(choice)
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinOp(
+        op,
+        draw(random_int_expression(depth + 1)),
+        draw(random_int_expression(depth + 1)),
+    )
+
+
+class TestPrinterProperty:
+    @given(random_int_expression())
+    @settings(max_examples=200, deadline=None)
+    def test_parse_print_fixpoint(self, expr):
+        assert parse_expression(print_expression(expr)) == expr
+
+
+class TestTypeChecker:
+    def _module(self, body: str):
+        return parse_module("MODULE main\n" + body)
+
+    def test_valid_counter(self):
+        check_module(parse_module(COUNTER))
+
+    def test_undeclared_symbol(self):
+        module = self._module("VAR x : boolean; INVARSPEC y;")
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_arith_on_boolean_rejected(self):
+        module = self._module("VAR x : boolean; INVARSPEC x + 1 > 0;")
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_integer_invarspec_rejected(self):
+        module = self._module("VAR n : 0..3; INVARSPEC n + 1;")
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_enum_vs_int_equality_rejected(self):
+        module = self._module("VAR s : {a, b}; INVARSPEC s = 1;")
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_assign_to_define_rejected(self):
+        module = self._module(
+            "VAR n : 0..3; DEFINE d := n + 1; ASSIGN init(d) := 0;"
+        )
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_assignment_type_mismatch(self):
+        module = self._module("VAR n : 0..3; ASSIGN init(n) := TRUE;")
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_circular_define(self):
+        module = self._module("VAR n : 0..3; DEFINE a := b + 1; b := a + 1; INVARSPEC a > 0;")
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_case_branch_type_mismatch(self):
+        module = self._module(
+            "VAR n : 0..3; INVARSPEC (case n > 0 : TRUE; TRUE : 1; esac) = TRUE;"
+        )
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_set_expression_outside_assignment_rejected(self):
+        module = self._module("VAR n : 0..3; INVARSPEC {1, 2} = 1;")
+        with pytest.raises(SmvTypeError):
+            check_module(module)
+
+    def test_nondeterministic_assignment_ok(self):
+        module = self._module(
+            "VAR n : 0..3; ASSIGN init(n) := {0, 1}; next(n) := {n, 0};"
+        )
+        check_module(module)
