@@ -7,7 +7,11 @@ substrate lands the same shape with tolerance ±7 % (EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
+import time
+
 from repro.analysis import fig4_tolerance_series, horizontal_bar_chart
+from repro.config import RuntimeConfig
 from repro.core import NoiseToleranceAnalysis
 
 
@@ -67,3 +71,64 @@ def test_fig4_tolerance_search_schedules(benchmark, quantized, case_study):
             if e.min_flip_percent is not None
         )
         assert binary_vulnerable <= paper_vulnerable
+
+
+def _flat(report):
+    return [
+        (e.index, e.min_flip_percent, e.witness, e.flipped_to, e.queries)
+        for e in report.per_input
+    ]
+
+
+def test_fig4_tolerance_runtime_variants(benchmark, quantized, case_study):
+    """Runtime ablation: serial vs parallel, cold vs warm query cache.
+
+    The warm-cache claim is hardware-independent and asserted always:
+    a repeat of the same analysis must issue strictly fewer (here: zero)
+    verifier calls.  The parallel speed-up needs real cores, so it is
+    asserted only when the machine has >= 4; the timings are printed
+    either way.  All variants must agree with the serial report exactly.
+    """
+    ceiling = 40
+
+    serial = NoiseToleranceAnalysis(quantized, search_ceiling=ceiling)
+    start = time.perf_counter()
+    serial_report = serial.analyze(case_study.test)
+    serial_time = time.perf_counter() - start
+    cold_calls = serial.runner.stats.solver_calls
+
+    start = time.perf_counter()
+    warm_report = serial.analyze(case_study.test)
+    warm_time = time.perf_counter() - start
+    warm_calls = serial.runner.stats.solver_calls - cold_calls
+
+    parallel = NoiseToleranceAnalysis(
+        quantized, search_ceiling=ceiling, runtime=RuntimeConfig(workers=4)
+    )
+    start = time.perf_counter()
+    parallel_report = benchmark.pedantic(
+        lambda: parallel.analyze(case_study.test), rounds=1, iterations=1
+    )
+    parallel_time = time.perf_counter() - start
+
+    cores = os.cpu_count() or 1
+    print(
+        f"\nserial cold {serial_time:.2f}s ({cold_calls} solver calls), "
+        f"warm {warm_time:.3f}s ({warm_calls} solver calls), "
+        f"parallel x4 {parallel_time:.2f}s on {cores} cores"
+    )
+    print(serial.runner.cache.stats.describe())
+
+    # Identical reports on every path.
+    assert _flat(serial_report) == _flat(warm_report) == _flat(parallel_report)
+    # Warm cache: strictly fewer solver calls than cold (zero, in fact).
+    assert cold_calls > 0
+    assert warm_calls < cold_calls
+    assert warm_calls == 0
+    if cores >= 4:
+        assert parallel_time < serial_time, (
+            f"parallel ({parallel_time:.2f}s) should beat serial "
+            f"({serial_time:.2f}s) on {cores} cores"
+        )
+    else:
+        print(f"(speed-up assertion skipped: only {cores} core(s) available)")

@@ -7,9 +7,13 @@ realisation.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 
-from repro.config import NoiseConfig
+from repro.config import NoiseConfig, RuntimeConfig
+from repro.core import NoiseVectorExtraction
 from repro.verify import ExhaustiveEnumerator, NoiseVectorCollector, build_query
 
 
@@ -41,3 +45,55 @@ def test_blocking_loop_extraction(benchmark, quantized, case_study, vulnerable_i
     # Consistency with the exact path: every vector appears in the full set.
     full = set(ExhaustiveEnumerator().collect_witnesses(query))
     assert set(result.vectors) <= full
+
+
+def _census(report):
+    return sorted(report.all_vectors_with_labels())
+
+
+def test_extraction_runtime_variants(benchmark, quantized, case_study, tolerance_report):
+    """Dataset-wide P3 through the runtime: serial/parallel, cold/warm.
+
+    Warm-cache extraction must issue strictly fewer (zero) collector
+    runs than cold while reproducing the census exactly; the parallel
+    path must reproduce it too, and beat serial when cores allow.
+    """
+    percent = (tolerance_report.tolerance or 6) + 1
+
+    serial = NoiseVectorExtraction(quantized)
+    start = time.perf_counter()
+    serial_report = serial.extract(case_study.test, percent)
+    serial_time = time.perf_counter() - start
+    cold_calls = serial.runner.stats.extract_calls
+
+    start = time.perf_counter()
+    warm_report = serial.extract(case_study.test, percent)
+    warm_time = time.perf_counter() - start
+    warm_calls = serial.runner.stats.extract_calls - cold_calls
+
+    parallel = NoiseVectorExtraction(quantized, runtime=RuntimeConfig(workers=4))
+    start = time.perf_counter()
+    parallel_report = benchmark.pedantic(
+        lambda: parallel.extract(case_study.test, percent), rounds=1, iterations=1
+    )
+    parallel_time = time.perf_counter() - start
+
+    cores = os.cpu_count() or 1
+    print(
+        f"\n±{percent}%: serial cold {serial_time:.2f}s ({cold_calls} collector runs), "
+        f"warm {warm_time:.3f}s ({warm_calls} runs), "
+        f"parallel x4 {parallel_time:.2f}s on {cores} cores"
+    )
+
+    assert _census(serial_report) == _census(warm_report) == _census(parallel_report)
+    assert serial_report.total_vectors > 0
+    assert cold_calls > 0
+    assert warm_calls < cold_calls
+    assert warm_calls == 0
+    if cores >= 4:
+        assert parallel_time < serial_time, (
+            f"parallel ({parallel_time:.2f}s) should beat serial "
+            f"({serial_time:.2f}s) on {cores} cores"
+        )
+    else:
+        print(f"(speed-up assertion skipped: only {cores} core(s) available)")

@@ -8,20 +8,29 @@ Public API highlights:
 - :mod:`repro.nn` / :mod:`repro.data` — training substrate and the
   synthetic leukemia dataset;
 - :mod:`repro.verify` — the noise-query verification engines;
+- :mod:`repro.runtime` — the parallel, cache-aware query runner the
+  analyses execute on;
 - :mod:`repro.smv`, :mod:`repro.fsm`, :mod:`repro.mc` — the SMV language
   and model-checking stack (the nuXmv role);
 - :mod:`repro.sat`, :mod:`repro.bdd`, :mod:`repro.smt` — the solver
   substrates underneath.
 """
 
-from .config import FannetConfig, NoiseConfig, TrainConfig, VerifierConfig
+from .config import (
+    FannetConfig,
+    NoiseConfig,
+    RuntimeConfig,
+    TrainConfig,
+    VerifierConfig,
+)
 from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FannetConfig",
     "NoiseConfig",
+    "RuntimeConfig",
     "TrainConfig",
     "VerifierConfig",
     "ReproError",

@@ -20,10 +20,28 @@ from pathlib import Path
 import numpy as np
 
 from .analysis import fig4_bias_series, fig4_sensitivity_series, fig4_tolerance_series
-from .config import FannetConfig, NoiseConfig, TrainConfig
+from .config import FannetConfig, NoiseConfig, RuntimeConfig, TrainConfig
 from .data import load_leukemia_case_study
 from .errors import ReproError
 from .nn import save_network, train_paper_network
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan per-input analysis tasks over this many worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the query cache (every query reaches a solver)",
+    )
+
+
+def _runtime_config(args) -> RuntimeConfig:
+    return RuntimeConfig(workers=args.workers, cache=not args.no_cache)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -52,6 +70,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--extract-at", type=int, default=None, help="P3 extraction range")
     run.add_argument("--probe", action="store_true", help="single-node sensitivity probes")
     run.add_argument("--json", type=Path, default=None, help="write the report as JSON")
+    _add_runtime_flags(run)
     run.set_defaults(handler=_cmd_run)
 
     train = sub.add_parser("train", help="train the case-study network")
@@ -83,6 +102,7 @@ def _build_parser() -> argparse.ArgumentParser:
     tolerance.add_argument(
         "--schedule", choices=("binary", "paper"), default="binary"
     )
+    _add_runtime_flags(tolerance)
     tolerance.set_defaults(handler=_cmd_tolerance)
 
     return parser
@@ -100,11 +120,14 @@ def _cmd_run(args) -> int:
     from .core import run_case_study
 
     fannet, report = run_case_study(
+        config=FannetConfig(runtime=_runtime_config(args)),
         search_ceiling=args.ceiling,
         extraction_percent=args.extract_at,
         probe_sensitivity=args.probe,
     )
     print(report.summary())
+    print(fannet.runner.stats.describe())
+    print(fannet.runner.cache.stats.describe())
     if args.json is not None:
         payload = {
             "tolerance": fig4_tolerance_series(report.tolerance),
@@ -207,10 +230,14 @@ def _cmd_tolerance(args) -> int:
 
     case_study, _, quantized = _trained_case_study()
     analysis = NoiseToleranceAnalysis(
-        quantized, search_ceiling=args.ceiling, schedule=args.schedule
+        quantized,
+        search_ceiling=args.ceiling,
+        schedule=args.schedule,
+        runtime=_runtime_config(args),
     )
     report = analysis.analyze(case_study.test)
     print(f"noise tolerance: ±{report.tolerance}%")
+    print(analysis.runner.stats.describe())
     for entry in report.per_input:
         flip = (
             f"flips at ±{entry.min_flip_percent}% -> L{entry.flipped_to}"

@@ -100,12 +100,32 @@ class VerifierConfig:
 
 
 @dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution policy for the analysis runtime (:mod:`repro.runtime`).
+
+    ``workers=1`` runs every query inline; higher counts fan per-input
+    tasks out over a process pool.  Results are bit-identical either way:
+    stochastic engines seed from ``(VerifierConfig.seed, input index)``,
+    never from shared global state.  ``cache=False`` disables the query
+    memo (every query reaches a solver), for measurement and debugging.
+    """
+
+    workers: int = 1
+    cache: bool = True
+
+    def __post_init__(self):
+        if self.workers <= 0:
+            raise ConfigError("workers must be positive")
+
+
+@dataclass(frozen=True)
 class FannetConfig:
     """Top-level configuration for the FANNet pipeline."""
 
     train: TrainConfig = field(default_factory=TrainConfig)
     noise: NoiseConfig = field(default_factory=NoiseConfig)
     verifier: VerifierConfig = field(default_factory=VerifierConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     num_features: int = 5
     input_scale: int = 50
     weight_scale: int = 1000

@@ -19,6 +19,7 @@ from ..data.dataset import Dataset
 from ..errors import VerificationError
 from ..nn import Network, accuracy, quantize_network, train_paper_network
 from ..nn.quantize import QuantizedNetwork
+from ..runtime import QueryRunner
 from ..verify import build_query
 from .bias import BiasReport, TrainingBiasAnalysis
 from .boundary import BoundaryEstimation, BoundaryReport
@@ -78,13 +79,20 @@ class Fannet:
         self.quantized: QuantizedNetwork = quantize_network(
             network, weight_scale=self.config.weight_scale
         )
-        self._tolerance_analysis = NoiseToleranceAnalysis(
-            self.quantized, self.config.verifier
+        # One runner, shared by every analysis: P2, P3 and the probes all
+        # hit the same query cache and the same worker-pool policy.
+        self.runner = QueryRunner(
+            self.quantized, self.config.verifier, self.config.runtime
         )
-        self._extraction = NoiseVectorExtraction(self.quantized, self.config.verifier)
+        self._tolerance_analysis = NoiseToleranceAnalysis(
+            self.quantized, self.config.verifier, runner=self.runner
+        )
+        self._extraction = NoiseVectorExtraction(
+            self.quantized, self.config.verifier, runner=self.runner
+        )
         self._bias_analysis = TrainingBiasAnalysis(train_set)
         self._sensitivity_analysis = InputSensitivityAnalysis(
-            self.quantized, self.config.verifier
+            self.quantized, self.config.verifier, runner=self.runner
         )
         self._boundary_estimation = BoundaryEstimation()
 

@@ -5,6 +5,15 @@ the prediction, annotated with the wrong label each vector produces.
 The census feeds both the training-bias analysis (which direction do
 flips go?) and the input-sensitivity analysis (which nodes carry signed
 noise?).
+
+Like the tolerance search, extraction executes on the analysis runtime
+(:mod:`repro.runtime`): each input becomes an
+:class:`~repro.runtime.tasks.ExtractionTask` submitted to a
+:class:`~repro.runtime.QueryRunner`.  The runner memoises extraction
+outcomes per ``(input, percent, limit)`` and short-circuits inputs whose
+P2 pass already proved the same noise box robust (an exact-key ROBUST
+verdict means the vector set is empty — no collector run at all), and
+fans inputs out over a worker pool when ``RuntimeConfig.workers > 1``.
 """
 
 from __future__ import annotations
@@ -13,10 +22,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import NoiseConfig, VerifierConfig
+from ..config import RuntimeConfig, VerifierConfig
 from ..data.dataset import Dataset
 from ..nn.quantize import QuantizedNetwork
-from ..verify import NoiseVectorCollector, build_query
+from ..runtime import ExtractionTask, QueryRunner
 
 
 @dataclass
@@ -63,43 +72,46 @@ class NoiseVectorExtraction:
         config: VerifierConfig | None = None,
         per_input_limit: int | None = None,
         exhaustive_cutoff: int = 8_000_000,
+        runner: QueryRunner | None = None,
+        runtime: RuntimeConfig | None = None,
     ):
         self.network = network
-        self.config = config or VerifierConfig()
         self.per_input_limit = per_input_limit
-        self.collector = NoiseVectorCollector(
-            self.config, exhaustive_cutoff=exhaustive_cutoff
+        self.exhaustive_cutoff = exhaustive_cutoff
+        self.runner = runner or QueryRunner(network, config or VerifierConfig(), runtime)
+        # The runner's config is the single source of truth — an injected
+        # runner's budgets/seed win over a separately passed ``config``.
+        self.config = self.runner.config
+
+    def _task(self, x, true_label: int, noise_percent: int, index: int) -> ExtractionTask:
+        return ExtractionTask(
+            index=index,
+            x=tuple(int(v) for v in x),
+            true_label=true_label,
+            percent=noise_percent,
+            limit=self.per_input_limit,
+            exhaustive_cutoff=self.exhaustive_cutoff,
         )
 
     def extract_for_input(
         self, x, true_label: int, noise_percent: int, index: int = -1
     ) -> InputNoiseVectors:
         """Unique adversarial vectors for one input at ``±noise_percent``."""
-        query = build_query(
-            self.network, x, true_label, NoiseConfig(max_percent=noise_percent)
-        )
-        limit = self.per_input_limit
-        if query.noise_space_size() > self.collector.exhaustive_cutoff and limit is None:
-            limit = 1000  # solver-driven extraction needs a bound
-        collected = self.collector.collect(query, limit=limit)
-        flipped = [query.predict_single(vector) for vector in collected.vectors]
-        return InputNoiseVectors(
-            index=index,
-            true_label=true_label,
-            vectors=list(collected.vectors),
-            flipped_to=flipped,
-            exhausted=collected.exhausted,
-        )
+        outcome = self._task(x, true_label, noise_percent, index).run(self.runner)
+        return InputNoiseVectors(index=index, true_label=true_label, **outcome)
 
     def extract(self, dataset: Dataset, noise_percent: int) -> ExtractionReport:
         """P3 extraction over every correctly-classified input."""
         report = ExtractionReport(noise_percent=noise_percent)
+        tasks: list[ExtractionTask] = []
         for index in range(dataset.num_samples):
             x = np.asarray(dataset.features[index])
             true_label = int(dataset.labels[index])
             if self.network.predict(x) != true_label:
                 continue
+            tasks.append(self._task(x, true_label, noise_percent, index))
+        for task, outcome in zip(tasks, self.runner.run_tasks(tasks)):
             report.per_input.append(
-                self.extract_for_input(x, true_label, noise_percent, index=index)
+                InputNoiseVectors(index=task.index, true_label=task.true_label, **outcome)
             )
         return report

@@ -20,10 +20,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import NoiseConfig, VerifierConfig
+from ..config import RuntimeConfig, VerifierConfig
 from ..data.dataset import Dataset
 from ..nn.quantize import QuantizedNetwork
-from ..verify import PortfolioVerifier, build_query
+from ..runtime import ProbeTask, QueryRunner
 from .noise_vectors import ExtractionReport
 
 
@@ -116,16 +116,26 @@ class SensitivityReport:
 
 
 class InputSensitivityAnalysis:
-    """Builds sensitivity reports from extractions and probes."""
+    """Builds sensitivity reports from extractions and probes.
+
+    The Eq.-3 probes run as :class:`~repro.runtime.ProbeTask` units on the
+    query runner — one task per ``(node, sign)`` pair, fanned out in
+    parallel when the runtime allows, with every single-node flip check
+    memoised.
+    """
 
     def __init__(
         self,
         network: QuantizedNetwork,
         config: VerifierConfig | None = None,
+        runner: QueryRunner | None = None,
+        runtime: RuntimeConfig | None = None,
     ):
         self.network = network
-        self.config = config or VerifierConfig()
-        self._verifier = PortfolioVerifier(self.config)
+        self.runner = runner or QueryRunner(network, config or VerifierConfig(), runtime)
+        # The runner's config is the single source of truth — an injected
+        # runner's budgets/seed win over a separately passed ``config``.
+        self.config = self.runner.config
 
     # -- census over extracted counterexamples --------------------------------
 
@@ -147,6 +157,17 @@ class InputSensitivityAnalysis:
 
     # -- Eq. 3 single-node probing ---------------------------------------------------
 
+    def _probe_inputs(self, dataset: Dataset) -> tuple:
+        """Correctly-classified ``(index, x, label)`` triples for the tasks."""
+        inputs = []
+        for index in range(dataset.num_samples):
+            x = np.asarray(dataset.features[index])
+            true_label = int(dataset.labels[index])
+            if self.network.predict(x) != true_label:
+                continue
+            inputs.append((index, tuple(int(v) for v in x), true_label))
+        return tuple(inputs)
+
     def single_node_probe(
         self,
         dataset: Dataset,
@@ -156,43 +177,29 @@ class InputSensitivityAnalysis:
     ) -> int | None:
         """Minimal |noise| on ``node`` alone (sign fixed) flipping any
         correctly-classified input; None if no flip up to the ceiling."""
-        best: int | None = None
-        for index in range(dataset.num_samples):
-            x = np.asarray(dataset.features[index])
-            true_label = int(dataset.labels[index])
-            if self.network.predict(x) != true_label:
-                continue
-            low, high = 1, best - 1 if best is not None else search_ceiling
-            while low <= high:
-                mid = (low + high) // 2
-                if self._flips_with_single_node(x, true_label, node, sign, mid):
-                    best, high = mid, mid - 1
-                else:
-                    low = mid + 1
-        return best
+        task = ProbeTask(
+            node=node,
+            sign=sign,
+            ceiling=search_ceiling,
+            inputs=self._probe_inputs(dataset),
+        )
+        return task.run(self.runner)
 
     def probe_all_nodes(
         self, dataset: Dataset, search_ceiling: int = 60
     ) -> dict[int, tuple[int | None, int | None]]:
         """(positive, negative) single-node flip thresholds for every node."""
-        return {
-            node: (
-                self.single_node_probe(dataset, node, +1, search_ceiling),
-                self.single_node_probe(dataset, node, -1, search_ceiling),
-            )
+        inputs = self._probe_inputs(dataset)
+        tasks = [
+            ProbeTask(node=node, sign=sign, ceiling=search_ceiling, inputs=inputs)
             for node in range(self.network.num_inputs)
-        }
-
-    def _flips_with_single_node(
-        self, x, true_label: int, node: int, sign: int, percent: int
-    ) -> bool:
-        """Exact check: some noise on this node alone flips the input."""
-        for magnitude in range(1, percent + 1):
-            vector = [0] * self.network.num_inputs
-            vector[node] = sign * magnitude
-            if self.network.predict_noisy(x, vector) != true_label:
-                return True
-        return False
+            for sign in (+1, -1)
+        ]
+        results = self.runner.run_tasks(tasks)
+        thresholds: dict[int, tuple[int | None, int | None]] = {}
+        for node in range(self.network.num_inputs):
+            thresholds[node] = (results[2 * node], results[2 * node + 1])
+        return thresholds
 
     # -- combined -----------------------------------------------------------------------
 

@@ -13,6 +13,16 @@ Two search schedules are provided:
   percentage point whenever a counterexample exists, stop at the first
   counterexample-free range.  Same answer, more queries; kept because it
   is the methodology being reproduced (and benchmarked in E2).
+
+Execution goes through the analysis runtime (:mod:`repro.runtime`): each
+input becomes an independent :class:`~repro.runtime.tasks.ToleranceSearchTask`
+submitted to a :class:`~repro.runtime.QueryRunner`, which memoises every
+``(input, percent)`` verdict in its query cache and — when
+``RuntimeConfig.workers > 1`` — fans the searches out over a process
+pool with deterministic ``(seed, input index)`` seeding.  Both schedules
+therefore share verdicts with each other, with the Fig.-4 sweep and with
+the later P3 extraction pass, and parallel runs reproduce serial runs
+bit for bit.
 """
 
 from __future__ import annotations
@@ -21,12 +31,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..config import NoiseConfig, VerifierConfig
+from ..config import RuntimeConfig, VerifierConfig
 from ..data.dataset import Dataset
 from ..errors import ConfigError
 from ..nn.quantize import QuantizedNetwork
-from ..verify import PortfolioVerifier, build_query
-from ..verify.result import VerificationResult
+from ..runtime import QueryRunner, ToleranceSearchTask
 
 
 @dataclass
@@ -80,7 +89,7 @@ class ToleranceReport:
 
 
 class NoiseToleranceAnalysis:
-    """Drives the P2 loop over a dataset."""
+    """Drives the P2 loop over a dataset through the query runner."""
 
     def __init__(
         self,
@@ -89,72 +98,37 @@ class NoiseToleranceAnalysis:
         verifier=None,
         search_ceiling: int = 60,
         schedule: str = "binary",
+        runner: QueryRunner | None = None,
+        runtime: RuntimeConfig | None = None,
     ):
         if schedule not in ("binary", "paper"):
             raise ConfigError("schedule must be 'binary' or 'paper'")
         self.network = network
-        self.verifier = verifier or PortfolioVerifier(config or VerifierConfig())
         self.search_ceiling = search_ceiling
         self.schedule = schedule
+        self.runner = runner or QueryRunner(
+            network, config or VerifierConfig(), runtime, verifier=verifier
+        )
 
     # -- single input ----------------------------------------------------------
 
     def min_flip_percent(self, x, true_label: int) -> InputTolerance:
-        """Smallest ±P admitting a counterexample for this input."""
-        if self.schedule == "binary":
-            return self._search_binary(x, true_label)
-        return self._search_paper(x, true_label)
+        """Smallest ±P admitting a counterexample for this input.
 
-    def _verify_at(self, x, true_label: int, percent: int) -> VerificationResult:
-        query = build_query(
-            self.network, x, true_label, NoiseConfig(max_percent=percent)
-        )
-        return self.verifier.verify(query)
-
-    def _search_binary(self, x, true_label: int) -> InputTolerance:
-        low, high = 1, self.search_ceiling
-        best: VerificationResult | None = None
-        best_percent: int | None = None
-        queries = 0
-        while low <= high:
-            mid = (low + high) // 2
-            result = self._verify_at(x, true_label, mid)
-            queries += 1
-            if result.is_vulnerable:
-                best, best_percent = result, mid
-                high = mid - 1
-            else:
-                low = mid + 1
-        return InputTolerance(
+        Runs under cache index -1 (no dataset position), so it neither
+        reads nor warms the entries of a dataset-wide :meth:`analyze`
+        pass — and its falsifier seed differs from the per-index one, so
+        the *witness* may differ from the report entry for the same
+        input even though the verdicts always agree.
+        """
+        task = ToleranceSearchTask(
             index=-1,
+            x=tuple(int(v) for v in x),
             true_label=true_label,
-            min_flip_percent=best_percent,
-            witness=best.witness if best else None,
-            flipped_to=best.predicted_label if best else None,
-            queries=queries,
+            ceiling=self.search_ceiling,
+            schedule=self.schedule,
         )
-
-    def _search_paper(self, x, true_label: int) -> InputTolerance:
-        """Fig.-2 literal loop: reduce ΔX while counterexamples exist."""
-        percent = self.search_ceiling
-        last_witness: VerificationResult | None = None
-        last_flip: int | None = None
-        queries = 0
-        while percent >= 1:
-            result = self._verify_at(x, true_label, percent)
-            queries += 1
-            if not result.is_vulnerable:
-                break
-            last_witness, last_flip = result, percent
-            percent -= 1
-        return InputTolerance(
-            index=-1,
-            true_label=true_label,
-            min_flip_percent=last_flip,
-            witness=last_witness.witness if last_witness else None,
-            flipped_to=last_witness.predicted_label if last_witness else None,
-            queries=queries,
-        )
+        return InputTolerance(index=-1, true_label=true_label, **task.run(self.runner))
 
     # -- dataset ------------------------------------------------------------------
 
@@ -169,13 +143,24 @@ class NoiseToleranceAnalysis:
             search_ceiling=self.search_ceiling,
             total_inputs=dataset.num_samples,
         )
+        tasks: list[ToleranceSearchTask] = []
         for index in range(dataset.num_samples):
             x = np.asarray(dataset.features[index])
             true_label = int(dataset.labels[index])
             if self.network.predict(x) != true_label:
                 continue  # excluded, as in the paper
             report.correctly_classified += 1
-            result = self.min_flip_percent(x, true_label)
-            result.index = index
-            report.per_input.append(result)
+            tasks.append(
+                ToleranceSearchTask(
+                    index=index,
+                    x=tuple(int(v) for v in x),
+                    true_label=true_label,
+                    ceiling=self.search_ceiling,
+                    schedule=self.schedule,
+                )
+            )
+        for task, outcome in zip(tasks, self.runner.run_tasks(tasks)):
+            report.per_input.append(
+                InputTolerance(index=task.index, true_label=task.true_label, **outcome)
+            )
         return report

@@ -1,0 +1,44 @@
+"""Analysis runtime (system S11): parallel, cache-aware query execution.
+
+The FANNet methodology is embarrassingly parallel — the P2 noise-tolerance
+search, the P3 noise-vector extraction and the Eq.-3 sensitivity probes
+each issue hundreds of *independent* verification queries per input.
+This package turns that structure into throughput:
+
+- :class:`QueryRunner` — the chokepoint every analysis submits work
+  through: memoised single queries plus per-input task fan-out over a
+  process pool with deterministic ``(seed, input index)`` seeding;
+- :class:`QueryCache` / :class:`CacheStats` — the keyed query memo with
+  fingerprint-based invalidation;
+- :mod:`repro.runtime.tasks` — the picklable per-input work units;
+- :mod:`repro.runtime.fingerprint` — network/config fingerprints and the
+  seed-derivation contract.
+
+``RuntimeConfig`` (in :mod:`repro.config`) selects worker count and cache
+policy; ``--workers`` / ``--no-cache`` expose it on the CLI.
+"""
+
+from .cache import CacheStats, QueryCache, make_key
+from .fingerprint import (
+    derive_seed,
+    network_fingerprint,
+    runtime_context,
+    verifier_fingerprint,
+)
+from .runner import QueryRunner, RunnerStats
+from .tasks import ExtractionTask, ProbeTask, ToleranceSearchTask
+
+__all__ = [
+    "QueryRunner",
+    "RunnerStats",
+    "QueryCache",
+    "CacheStats",
+    "make_key",
+    "derive_seed",
+    "network_fingerprint",
+    "verifier_fingerprint",
+    "runtime_context",
+    "ToleranceSearchTask",
+    "ExtractionTask",
+    "ProbeTask",
+]

@@ -1,0 +1,161 @@
+"""Keyed memoisation of verification outcomes.
+
+Every query the analyses issue is addressed by a structured key::
+
+    (kind, input index, input values, true label, noise percent, extra)
+
+``kind`` namespaces the payload ("verify" → :class:`VerificationResult`,
+"extract" → collected noise vectors, "probe" → single-node flip booleans).
+The input *values* ride along with the index so a cache can never hand
+back results for a different dataset that happens to reuse an index.
+
+The cache is bound to a *context* string (network fingerprint + verifier
+fingerprint, see :mod:`repro.runtime.fingerprint`); binding a different
+context invalidates everything, which is what makes it safe to hand one
+cache object to successive runners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+#: Structured cache key; see the module docstring for the field layout.
+QueryKey = tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting, exposed on :class:`QueryCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    preloads: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.stores} stores"
+        )
+
+
+def make_key(
+    kind: str,
+    index: int,
+    x: Iterable[int],
+    true_label: int,
+    percent: int,
+    extra: Hashable = (),
+) -> QueryKey:
+    """Canonical key for one analysis query (input values included)."""
+    return (kind, int(index), tuple(int(v) for v in x), int(true_label), int(percent), extra)
+
+
+class QueryCache:
+    """In-memory query memo with stats and context invalidation.
+
+    ``enabled=False`` turns every operation into a no-op so callers never
+    need an ``if cache`` branch; stats still record the misses.
+    """
+
+    def __init__(self, enabled: bool = True, context: str | None = None):
+        self.enabled = enabled
+        self.context = context
+        self.stats = CacheStats()
+        self._entries: dict[QueryKey, Any] = {}
+        # Secondary index: (index, input values) → that input's entries,
+        # so warm-entry harvesting never scans the whole cache.
+        self._by_input: dict[tuple, dict[QueryKey, Any]] = {}
+        #: Entries stored via :meth:`put` since construction or the last
+        #: :meth:`preload` — what a pooled worker ships back to the parent.
+        self.added: dict[QueryKey, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: QueryKey) -> bool:
+        return self.enabled and key in self._entries
+
+    # -- context binding -------------------------------------------------------
+
+    def bind(self, context: str) -> None:
+        """Attach to a (network, verifier-config) context.
+
+        A context change means every cached result was computed against a
+        different model or budget: drop them all and count an invalidation.
+        """
+        if self.context is not None and self.context != context and self._entries:
+            self.clear()
+            self.stats.invalidations += 1
+        self.context = context
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_input.clear()
+        self.added.clear()
+
+    # -- lookups -------------------------------------------------------------------
+
+    def get(self, key: QueryKey) -> Any | None:
+        """Stats-counted lookup; None on miss (or when disabled)."""
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        if key in self._entries:
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: QueryKey) -> Any | None:
+        """Lookup without touching the stats (warm-entry harvesting)."""
+        if not self.enabled:
+            return None
+        return self._entries.get(key)
+
+    def put(self, key: QueryKey, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = value
+        self._by_input.setdefault((key[1], key[2]), {})[key] = value
+        self.added[key] = value
+        self.stats.stores += 1
+
+    # -- bulk transfer (parallel workers) --------------------------------------------
+
+    def preload(self, entries: dict[QueryKey, Any]) -> None:
+        """Seed entries without counting stores; resets the ``added`` journal."""
+        if not self.enabled:
+            return
+        self._entries.update(entries)
+        for key, value in entries.items():
+            self._by_input.setdefault((key[1], key[2]), {})[key] = value
+        self.stats.preloads += len(entries)
+        self.added.clear()
+
+    def entries_for_input(
+        self, index: int, x: Iterable[int], kinds: tuple[str, ...] | None = None
+    ) -> dict[QueryKey, Any]:
+        """Cached entries addressing one ``(index, input values)`` pair.
+
+        Served from the per-input secondary index (no full-cache scan).
+        ``kinds`` restricts the result to the given key namespaces so a
+        task is only shipped entries it can actually consume (a probe
+        task has no use for cached extraction vector lists).
+        """
+        if not self.enabled:
+            return {}
+        bucket = self._by_input.get((index, tuple(int(v) for v in x)), {})
+        if kinds is None:
+            return dict(bucket)
+        return {key: value for key, value in bucket.items() if key[0] in kinds}

@@ -1,0 +1,319 @@
+"""Parallel, cache-aware execution of analysis queries.
+
+:class:`QueryRunner` is the single chokepoint through which the FANNet
+analyses (P2 tolerance search, P3 extraction, sensitivity probes) issue
+verification work.  It provides:
+
+- **Memoisation** — every query outcome lands in a :class:`QueryCache`
+  keyed by ``(kind, input index, input values, true label, noise percent,
+  extra)`` under a (network, verifier-config) fingerprint context, so the
+  tolerance bisection, the literal paper schedule, the Fig.-4 sweep,
+  extraction and the probes stop re-solving identical queries.
+- **Fan-out** — independent per-input tasks (see
+  :mod:`repro.runtime.tasks`) run over a ``ProcessPoolExecutor`` when
+  ``RuntimeConfig.workers > 1``.  Warm cache entries for each task's
+  input ship with the task; entries the worker computes ship back and
+  merge into the parent cache, so a warm parallel run issues zero new
+  solver calls.
+- **Deterministic seeding** — the stochastic falsifier inside each
+  worker derives its seed from ``(config.seed, input index)``
+  (:func:`~repro.runtime.fingerprint.derive_seed`), so reports are
+  bit-identical for any worker count and any scheduling order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..config import NoiseConfig, RuntimeConfig, VerifierConfig
+from ..verify import NoiseVectorCollector, PortfolioVerifier, build_query
+from ..verify.result import VerificationResult
+from .cache import CacheStats, QueryCache, make_key
+from .fingerprint import derive_seed, runtime_context
+
+
+@dataclass
+class RunnerStats:
+    """Uncached work actually performed (the cache's savings baseline)."""
+
+    verify_calls: int = 0
+    extract_calls: int = 0
+    probe_evals: int = 0
+    tasks: int = 0
+    parallel_batches: int = 0
+
+    @property
+    def solver_calls(self) -> int:
+        """Verifier + collector invocations that reached an engine."""
+        return self.verify_calls + self.extract_calls
+
+    def merge(self, other: "RunnerStats") -> None:
+        self.verify_calls += other.verify_calls
+        self.extract_calls += other.extract_calls
+        self.probe_evals += other.probe_evals
+
+    def describe(self) -> str:
+        return (
+            f"runner: {self.verify_calls} verifier calls, "
+            f"{self.extract_calls} extractions, {self.probe_evals} probe evals "
+            f"over {self.tasks} tasks"
+        )
+
+
+class QueryRunner:
+    """Submit analysis queries; get memoised, optionally pooled, results."""
+
+    def __init__(
+        self,
+        network,
+        config: VerifierConfig | None = None,
+        runtime: RuntimeConfig | None = None,
+        verifier=None,
+        cache: QueryCache | None = None,
+    ):
+        self.network = network
+        self.config = config or VerifierConfig()
+        self.runtime = runtime or RuntimeConfig()
+        self._fixed_verifier = verifier
+        self.cache = cache if cache is not None else QueryCache(enabled=self.runtime.cache)
+        self.cache.bind(runtime_context(network, self.config))
+        self.stats = RunnerStats()
+        self._verifiers: dict[int, PortfolioVerifier] = {}
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- engine selection -------------------------------------------------------
+
+    def _verifier_for(self, index: int):
+        """Per-input verifier with a seed derived from (base seed, index)."""
+        if self._fixed_verifier is not None:
+            return self._fixed_verifier
+        verifier = self._verifiers.get(index)
+        if verifier is None:
+            seeded = replace(self.config, seed=derive_seed(self.config.seed, index))
+            verifier = PortfolioVerifier(seeded)
+            self._verifiers[index] = verifier
+        return verifier
+
+    # -- cached building blocks -----------------------------------------------------
+
+    def verify_at(
+        self, x, true_label: int, percent: int, index: int = -1
+    ) -> VerificationResult:
+        """One robustness query at ``±percent``, memoised."""
+        x = tuple(int(v) for v in x)
+        key = make_key("verify", index, x, true_label, percent)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        query = build_query(
+            self.network,
+            np.asarray(x, dtype=np.int64),
+            true_label,
+            NoiseConfig(max_percent=percent),
+        )
+        result = self._verifier_for(index).verify(query)
+        self.stats.verify_calls += 1
+        self.cache.put(key, result)
+        return result
+
+    def collect_at(
+        self,
+        x,
+        true_label: int,
+        percent: int,
+        limit: int | None,
+        exhaustive_cutoff: int,
+        index: int = -1,
+    ) -> dict:
+        """P3 collection at ``±percent``, memoised; reuses robust verdicts."""
+        x = tuple(int(v) for v in x)
+        key = make_key(
+            "extract", index, x, true_label, percent, extra=(limit, exhaustive_cutoff)
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        verdict = self.cache.peek(make_key("verify", index, x, true_label, percent))
+        if verdict is not None and verdict.is_robust:
+            # The P2 pass already proved this box clean: the vector set is
+            # empty, no collector run needed.
+            outcome = {"vectors": [], "flipped_to": [], "exhausted": True}
+            self.cache.put(key, outcome)
+            return outcome
+        query = build_query(
+            self.network,
+            np.asarray(x, dtype=np.int64),
+            true_label,
+            NoiseConfig(max_percent=percent),
+        )
+        effective_limit = limit
+        if query.noise_space_size() > exhaustive_cutoff and effective_limit is None:
+            effective_limit = 1000  # solver-driven extraction needs a bound
+        collector = NoiseVectorCollector(self.config, exhaustive_cutoff=exhaustive_cutoff)
+        collected = collector.collect(query, limit=effective_limit)
+        flipped = [query.predict_single(vector) for vector in collected.vectors]
+        outcome = {
+            "vectors": list(collected.vectors),
+            "flipped_to": flipped,
+            "exhausted": collected.exhausted,
+        }
+        self.stats.extract_calls += 1
+        self.cache.put(key, outcome)
+        return outcome
+
+    def flips_single_node(
+        self,
+        x,
+        true_label: int,
+        node: int,
+        sign: int,
+        percent: int,
+        index: int = -1,
+    ) -> bool:
+        """Exact Eq.-3 check (noise on one node only), memoised."""
+        x = tuple(int(v) for v in x)
+        key = make_key("probe", index, x, true_label, percent, extra=(node, sign))
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        flips = False
+        vector = [0] * len(x)
+        for magnitude in range(1, percent + 1):
+            vector[node] = sign * magnitude
+            if self.network.predict_noisy(x, vector) != true_label:
+                flips = True
+                break
+        self.stats.probe_evals += 1
+        self.cache.put(key, flips)
+        return flips
+
+    # -- fan-out ----------------------------------------------------------------------
+
+    def run_tasks(self, tasks: list) -> list:
+        """Execute independent tasks, inline or over a process pool.
+
+        Results come back in task order either way; parallel execution is
+        purely a scheduling change (see the per-input seeding contract).
+        """
+        tasks = list(tasks)
+        self.stats.tasks += len(tasks)
+        if min(self.runtime.workers, len(tasks)) <= 1:
+            return [task.run(self) for task in tasks]
+        return self._run_pooled(tasks)
+
+    def _run_pooled(self, tasks: list) -> list:
+        for task in tasks:
+            task.warm = self._warm_entries(task)
+        self.stats.parallel_batches += 1
+        outcomes = list(self._pool_handle().map(_run_task, tasks))
+        values = []
+        for outcome in outcomes:
+            for key, value in outcome.entries.items():
+                if self.cache.peek(key) is None:
+                    self.cache.put(key, value)
+            self.stats.merge(outcome.stats)
+            self.cache.stats.hits += outcome.cache_stats.hits
+            self.cache.stats.misses += outcome.cache_stats.misses
+            values.append(outcome.value)
+        return values
+
+    def _warm_entries(self, task) -> dict:
+        """Cache entries relevant to a task's inputs, shipped to the worker."""
+        kinds = getattr(task, "warm_kinds", None)
+        warm: dict = {}
+        for index, x in task_inputs(task):
+            warm.update(self.cache.entries_for_input(index, x, kinds=kinds))
+        return warm
+
+    def _pool_handle(self) -> ProcessPoolExecutor:
+        """Lazily created, reused worker pool.
+
+        The pool (and the network shipped to each worker through the
+        initializer) is paid for once per runner, not once per batch —
+        one ``Fannet.analyze`` runs its tolerance, extraction and probe
+        batches on the same workers.
+        """
+        if self._pool is None:
+            context = _WorkerContext(
+                network=self.network,
+                config=self.config,
+                verifier=self._fixed_verifier,
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.runtime.workers,
+                initializer=_init_worker,
+                initargs=(context,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op when none was started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self):  # best-effort cleanup; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def task_inputs(task) -> list[tuple[int, tuple]]:
+    """The ``(index, input values)`` pairs a task will query."""
+    if hasattr(task, "inputs"):  # ProbeTask spans several inputs
+        return [(index, x) for index, x, _ in task.inputs]
+    return [(task.index, task.x)]
+
+
+# -- worker-process side ----------------------------------------------------------
+
+
+@dataclass
+class _WorkerContext:
+    """Everything a pooled worker needs, shipped once per process."""
+
+    network: object
+    config: VerifierConfig
+    verifier: object = None
+
+
+@dataclass
+class _TaskOutcome:
+    """A task's value plus the cache entries and effort it produced."""
+
+    value: object
+    entries: dict
+    stats: RunnerStats
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+
+_WORKER_CONTEXT: _WorkerContext | None = None
+
+
+def _init_worker(context: _WorkerContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_task(task) -> _TaskOutcome:
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - pool misconfiguration
+        raise RuntimeError("worker pool used before initialisation")
+    runner = QueryRunner(
+        context.network,
+        context.config,
+        RuntimeConfig(workers=1, cache=True),
+        verifier=context.verifier,
+    )
+    runner.cache.preload(task.warm)
+    value = task.run(runner)
+    return _TaskOutcome(
+        value=value,
+        entries=dict(runner.cache.added),
+        stats=runner.stats,
+        cache_stats=runner.cache.stats,
+    )

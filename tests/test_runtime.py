@@ -1,0 +1,309 @@
+"""Unit tests for the analysis runtime: cache, fingerprints, runner.
+
+Covers the cache contract the analyses rely on — hit/miss accounting,
+fingerprint-based invalidation, warm-cache zero-solver-call replays —
+plus the per-input seed derivation and the process-pool fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.config import NoiseConfig, RuntimeConfig, VerifierConfig
+from repro.errors import ConfigError
+from repro.nn.quantize import QuantizedLayer, QuantizedNetwork
+from repro.runtime import (
+    ExtractionTask,
+    QueryCache,
+    QueryRunner,
+    ToleranceSearchTask,
+    derive_seed,
+    make_key,
+    network_fingerprint,
+    runtime_context,
+    verifier_fingerprint,
+)
+from repro.verify import PortfolioVerifier, build_query
+
+SCALE = 1000
+
+
+def make_network(weight_rows_1, bias_1, weight_rows_2, bias_2) -> QuantizedNetwork:
+    def frac_matrix(rows):
+        return tuple(tuple(Fraction(v, SCALE) for v in row) for row in rows)
+
+    def frac_vector(values):
+        return tuple(Fraction(v, SCALE) for v in values)
+
+    return QuantizedNetwork(
+        [
+            QuantizedLayer(frac_matrix(weight_rows_1), frac_vector(bias_1), relu=True),
+            QuantizedLayer(frac_matrix(weight_rows_2), frac_vector(bias_2), relu=False),
+        ]
+    )
+
+
+@pytest.fixture
+def network():
+    return make_network(
+        [[1500, -500], [-800, 1200], [400, 400]],
+        [100, -200, 0],
+        [[1000, -300, 500], [-700, 900, 200]],
+        [50, -50],
+    )
+
+
+@pytest.fixture
+def x(network):
+    return (10, 20)
+
+
+@pytest.fixture
+def label(network, x):
+    return network.predict(x)
+
+
+class CountingVerifier:
+    """Complete verifier wrapper that counts ``verify`` invocations."""
+
+    def __init__(self, config=None):
+        self.inner = PortfolioVerifier(config or VerifierConfig())
+        self.calls = 0
+
+    def verify(self, query):
+        self.calls += 1
+        return self.inner.verify(query)
+
+
+class TestQueryCache:
+    def test_hit_and_miss_accounting(self):
+        cache = QueryCache()
+        key = make_key("verify", 0, (1, 2), 0, 5)
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_peek_does_not_touch_stats(self):
+        cache = QueryCache()
+        key = make_key("verify", 0, (1,), 0, 5)
+        assert cache.peek(key) is None
+        cache.put(key, "value")
+        assert cache.peek(key) == "value"
+        assert cache.stats.lookups == 0
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = QueryCache(enabled=False)
+        key = make_key("verify", 0, (1,), 0, 5)
+        cache.put(key, "value")
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_rebinding_same_context_keeps_entries(self):
+        cache = QueryCache()
+        cache.bind("ctx-a")
+        cache.put(make_key("verify", 0, (1,), 0, 5), "value")
+        cache.bind("ctx-a")
+        assert len(cache) == 1
+        assert cache.stats.invalidations == 0
+
+    def test_context_change_invalidates(self):
+        cache = QueryCache()
+        cache.bind("ctx-a")
+        cache.put(make_key("verify", 0, (1,), 0, 5), "value")
+        cache.bind("ctx-b")
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_entries_for_input_filters_by_index_and_values(self):
+        cache = QueryCache()
+        key_a = make_key("verify", 0, (1, 2), 0, 5)
+        key_b = make_key("verify", 1, (3, 4), 0, 5)
+        cache.put(key_a, "a")
+        cache.put(key_b, "b")
+        assert cache.entries_for_input(0, (1, 2)) == {key_a: "a"}
+        assert cache.entries_for_input(0, (9, 9)) == {}
+
+
+class TestFingerprints:
+    def test_network_fingerprint_changes_with_weights(self, network):
+        other = make_network(
+            [[1501, -500], [-800, 1200], [400, 400]],
+            [100, -200, 0],
+            [[1000, -300, 500], [-700, 900, 200]],
+            [50, -50],
+        )
+        assert network_fingerprint(network) != network_fingerprint(other)
+        assert network_fingerprint(network) == network_fingerprint(network)
+
+    def test_verifier_fingerprint_changes_with_any_field(self):
+        base = VerifierConfig()
+        assert verifier_fingerprint(base) == verifier_fingerprint(VerifierConfig())
+        for change in (
+            replace(base, seed=1),
+            replace(base, node_budget=99),
+            replace(base, time_budget_s=1.0),
+        ):
+            assert verifier_fingerprint(base) != verifier_fingerprint(change)
+
+    def test_derive_seed_is_stable_and_spread(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+        seeds = {derive_seed(7, index) for index in range(-1, 40)}
+        assert len(seeds) == 41  # no collisions across indices
+        assert derive_seed(7, 3) != derive_seed(8, 3)
+
+
+class TestRunnerCaching:
+    def test_repeated_query_issues_zero_new_solver_calls(self, network, x, label):
+        verifier = CountingVerifier()
+        runner = QueryRunner(network, verifier=verifier)
+        first = runner.verify_at(x, label, 5)
+        again = runner.verify_at(x, label, 5)
+        assert verifier.calls == 1
+        assert runner.stats.verify_calls == 1
+        assert first is again
+
+    def test_cache_off_always_reaches_the_solver(self, network, x, label):
+        verifier = CountingVerifier()
+        runner = QueryRunner(
+            network, runtime=RuntimeConfig(cache=False), verifier=verifier
+        )
+        runner.verify_at(x, label, 5)
+        runner.verify_at(x, label, 5)
+        assert verifier.calls == 2
+
+    def test_verifier_config_change_invalidates_shared_cache(self, network, x, label):
+        cache = QueryCache()
+        runner = QueryRunner(network, VerifierConfig(seed=0), cache=cache)
+        runner.verify_at(x, label, 5)
+        assert len(cache) == 1
+        # Same network, different budget: every entry must be dropped.
+        QueryRunner(network, VerifierConfig(seed=0, node_budget=123), cache=cache)
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_network_change_invalidates_shared_cache(self, network, x, label):
+        other = make_network(
+            [[1501, -500], [-800, 1200], [400, 400]],
+            [100, -200, 0],
+            [[1000, -300, 500], [-700, 900, 200]],
+            [50, -50],
+        )
+        cache = QueryCache()
+        QueryRunner(network, cache=cache).verify_at(x, label, 5)
+        assert len(cache) == 1
+        QueryRunner(other, cache=cache)
+        assert len(cache) == 0
+
+    def test_robust_verdict_short_circuits_extraction(self, network, x, label):
+        runner = QueryRunner(network)
+        result = runner.verify_at(x, label, 1)
+        assert result.is_robust
+        outcome = runner.collect_at(x, label, 1, limit=None, exhaustive_cutoff=10**6)
+        assert outcome == {"vectors": [], "flipped_to": [], "exhausted": True}
+        assert runner.stats.extract_calls == 0  # no collector run happened
+
+    def test_extraction_is_memoised(self, network, x, label):
+        runner = QueryRunner(network)
+        first = runner.collect_at(x, label, 20, limit=None, exhaustive_cutoff=10**6)
+        second = runner.collect_at(x, label, 20, limit=None, exhaustive_cutoff=10**6)
+        assert runner.stats.extract_calls == 1
+        assert first is second
+        assert first["vectors"]  # ±20 % flips this input
+
+    def test_probe_checks_are_memoised(self, network, x, label):
+        runner = QueryRunner(network)
+        first = runner.flips_single_node(x, label, node=0, sign=1, percent=10)
+        second = runner.flips_single_node(x, label, node=0, sign=1, percent=10)
+        assert first == second
+        assert runner.stats.probe_evals == 1
+
+    def test_verify_result_matches_direct_portfolio(self, network, x, label):
+        runner = QueryRunner(network, VerifierConfig())
+        query = build_query(network, np.array(x), label, NoiseConfig(max_percent=8))
+        direct = PortfolioVerifier(VerifierConfig()).verify(query)
+        via_runner = runner.verify_at(x, label, 8)
+        assert via_runner.status == direct.status
+
+
+class TestRunnerFanOut:
+    def _tasks(self, network, x, label, ceiling=12):
+        return [
+            ToleranceSearchTask(
+                index=index, x=x, true_label=label, ceiling=ceiling, schedule="binary"
+            )
+            for index in range(3)
+        ] + [
+            ExtractionTask(
+                index=3,
+                x=x,
+                true_label=label,
+                percent=10,
+                limit=5,
+                exhaustive_cutoff=10**6,
+            )
+        ]
+
+    def test_parallel_matches_serial(self, network, x, label):
+        serial = QueryRunner(network)
+        parallel = QueryRunner(network, runtime=RuntimeConfig(workers=2))
+        tasks = self._tasks(network, x, label)
+        assert serial.run_tasks(tasks) == parallel.run_tasks(
+            self._tasks(network, x, label)
+        )
+        assert parallel.stats.parallel_batches == 1
+
+    def test_parallel_run_fills_parent_cache(self, network, x, label):
+        runner = QueryRunner(network, runtime=RuntimeConfig(workers=2))
+        runner.run_tasks(self._tasks(network, x, label))
+        assert len(runner.cache) > 0
+        # A warm re-run performs no new solver work anywhere.
+        before = runner.stats.solver_calls
+        runner.run_tasks(self._tasks(network, x, label))
+        assert runner.stats.solver_calls == before
+
+    def test_single_task_runs_inline(self, network, x, label):
+        runner = QueryRunner(network, runtime=RuntimeConfig(workers=4))
+        task = ToleranceSearchTask(
+            index=0, x=x, true_label=label, ceiling=6, schedule="paper"
+        )
+        runner.run_tasks([task])
+        assert runner.stats.parallel_batches == 0  # pool skipped for one task
+
+    def test_pool_is_reused_across_batches(self, network, x, label):
+        runner = QueryRunner(network, runtime=RuntimeConfig(workers=2))
+        runner.run_tasks(self._tasks(network, x, label))
+        pool = runner._pool
+        assert pool is not None
+        runner.run_tasks(self._tasks(network, x, label, ceiling=14))
+        assert runner._pool is pool  # same executor, no respawn
+        runner.close()
+        assert runner._pool is None
+
+    def test_injected_runner_config_wins(self, network):
+        from repro.core import NoiseVectorExtraction
+
+        runner = QueryRunner(network, VerifierConfig(seed=3))
+        extraction = NoiseVectorExtraction(
+            network, config=VerifierConfig(seed=9), runner=runner
+        )
+        assert extraction.config is runner.config  # single source of truth
+
+
+class TestRuntimeConfig:
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(workers=0)
+
+    def test_defaults(self):
+        config = RuntimeConfig()
+        assert config.workers == 1
+        assert config.cache is True
