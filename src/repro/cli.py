@@ -38,10 +38,29 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the query cache (every query reaches a solver)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist the query cache under DIR (one file per network/config "
+        "fingerprint), so repeated runs warm-start and issue zero solver "
+        "calls for already-proved verdicts",
+    )
+    parser.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="with --cache-dir: neither read nor write the disk cache this run",
+    )
 
 
 def _runtime_config(args) -> RuntimeConfig:
-    return RuntimeConfig(workers=args.workers, cache=not args.no_cache)
+    return RuntimeConfig(
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        persist=not args.no_persist,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -108,6 +127,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_store(runner) -> None:
+    """One-line persistence summary when a disk cache store is active."""
+    store = runner.store
+    if store is None:
+        return
+    print(
+        f"cache store: {store.loaded_entries} entries loaded, "
+        f"{store.saved_entries} saved under {store.directory}"
+    )
+
+
 def _trained_case_study():
     from .nn import quantize_network
 
@@ -125,9 +155,11 @@ def _cmd_run(args) -> int:
         extraction_percent=args.extract_at,
         probe_sensitivity=args.probe,
     )
+    fannet.close()  # flush the disk cache store before reporting
     print(report.summary())
     print(fannet.runner.stats.describe())
     print(fannet.runner.cache.stats.describe())
+    _print_store(fannet.runner)
     if args.json is not None:
         payload = {
             "tolerance": fig4_tolerance_series(report.tolerance),
@@ -236,8 +268,11 @@ def _cmd_tolerance(args) -> int:
         runtime=_runtime_config(args),
     )
     report = analysis.analyze(case_study.test)
+    analysis.runner.close()  # flush the disk cache store, stop the pool
     print(f"noise tolerance: ±{report.tolerance}%")
     print(analysis.runner.stats.describe())
+    print(analysis.runner.cache.stats.describe())
+    _print_store(analysis.runner)
     for entry in report.per_input:
         flip = (
             f"flips at ±{entry.min_flip_percent}% -> L{entry.flipped_to}"

@@ -108,14 +108,35 @@ class RuntimeConfig:
     stochastic engines seed from ``(VerifierConfig.seed, input index)``,
     never from shared global state.  ``cache=False`` disables the query
     memo (every query reaches a solver), for measurement and debugging.
+
+    ``monotone=True`` (the default) upgrades the memo to a
+    :class:`~repro.runtime.cache.MonotoneCache`, which also answers
+    queries *implied* by already-proved verdicts along the noise-percent
+    axis (ROBUST at ±P covers every smaller range, VULNERABLE every
+    larger one); ``monotone=False`` falls back to exact-key reuse only.
+
+    ``cache_dir`` names a directory for cross-run persistence: the memo
+    is warm-started from — and spilled back to — one file per (network,
+    verifier-config) fingerprint context there (see
+    :mod:`repro.runtime.store`).  ``persist=False`` keeps a configured
+    ``cache_dir`` untouched (neither read nor written) for this run.
+    ``cache_dir=None`` (the default) disables persistence entirely.
     """
 
     workers: int = 1
     cache: bool = True
+    monotone: bool = True
+    cache_dir: str | None = None
+    persist: bool = True
 
     def __post_init__(self):
         if self.workers <= 0:
             raise ConfigError("workers must be positive")
+
+    @property
+    def persistence_enabled(self) -> bool:
+        """Whether this run reads/writes a disk cache store."""
+        return self.cache and self.persist and self.cache_dir is not None
 
 
 @dataclass(frozen=True)

@@ -96,6 +96,14 @@ class Fannet:
         )
         self._boundary_estimation = BoundaryEstimation()
 
+    def close(self) -> None:
+        """Flush the runner's disk cache store and stop its worker pool.
+
+        Safe to call repeatedly; a ``Fannet`` remains usable afterwards
+        (the pool and the store flush are both lazily re-established).
+        """
+        self.runner.close()
+
     # -- behaviour extraction / P1 --------------------------------------------
 
     def validate(self) -> bool:
@@ -190,6 +198,7 @@ class Fannet:
             report.extraction, probe=probe_sensitivity
         )
         report.boundary = self.boundary(report.tolerance)
+        self.runner.flush()  # spill new verdicts to the disk store, if any
         return report
 
 

@@ -11,9 +11,11 @@ Like the tolerance search, extraction executes on the analysis runtime
 :class:`~repro.runtime.tasks.ExtractionTask` submitted to a
 :class:`~repro.runtime.QueryRunner`.  The runner memoises extraction
 outcomes per ``(input, percent, limit)`` and short-circuits inputs whose
-P2 pass already proved the same noise box robust (an exact-key ROBUST
-verdict means the vector set is empty — no collector run at all), and
-fans inputs out over a worker pool when ``RuntimeConfig.workers > 1``.
+P2 pass already proved the same noise box robust — exactly, or via the
+monotone cache layer, *implied*: a ROBUST verdict at any larger percent
+covers this box, so the vector set is empty and no collector runs at
+all — and fans inputs out over a worker pool when
+``RuntimeConfig.workers > 1``.
 """
 
 from __future__ import annotations

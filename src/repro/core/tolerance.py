@@ -23,6 +23,16 @@ pool with deterministic ``(seed, input index)`` seeding.  Both schedules
 therefore share verdicts with each other, with the Fig.-4 sweep and with
 the later P3 extraction pass, and parallel runs reproduce serial runs
 bit for bit.
+
+Both schedules also consume *implied* verdicts: the runner's default
+:class:`~repro.runtime.MonotoneCache` answers a probe at ±P from any
+proved ROBUST verdict at ±P' ≥ P or VULNERABLE verdict at ±P' ≤ P, so a
+search that overlaps earlier work — the other schedule, a previous run
+warm-started from disk, a different ceiling, the extraction pass — stops
+issuing solver calls for percents whose answer is already forced by the
+paper's nested-noise-box semantics.  Reports are unaffected: every
+witness that reaches a report comes from the exact entry at the minimal
+flip percent, which any schedule proves directly before reporting it.
 """
 
 from __future__ import annotations
@@ -164,3 +174,27 @@ class NoiseToleranceAnalysis:
                 InputTolerance(index=task.index, true_label=task.true_label, **outcome)
             )
         return report
+
+    def sweep(self, dataset: Dataset, percents: list[int]) -> dict[int, list[int]]:
+        """Live Fig.-4 sweep: ``{percent: [vulnerable input indices]}``.
+
+        Unlike :meth:`ToleranceReport.misclassification_counts` (which
+        re-reads a finished report), this issues one verification query
+        per correctly-classified input per percent — and therefore shows
+        the monotone cache at work: after :meth:`analyze` has run on the
+        same runner, every query here is answered from an exact or
+        implied verdict and *zero* solver calls are issued, whereas an
+        exact-key cache re-solves each percent the search never probed
+        directly.
+        """
+        vulnerable: dict[int, list[int]] = {p: [] for p in percents}
+        for index in range(dataset.num_samples):
+            x = np.asarray(dataset.features[index])
+            true_label = int(dataset.labels[index])
+            if self.network.predict(x) != true_label:
+                continue  # excluded, as in analyze()
+            for percent in percents:
+                result = self.runner.verify_at(x, true_label, percent, index=index)
+                if result.is_vulnerable:
+                    vulnerable[percent].append(index)
+        return vulnerable

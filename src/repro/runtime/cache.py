@@ -13,22 +13,71 @@ The cache is bound to a *context* string (network fingerprint + verifier
 fingerprint, see :mod:`repro.runtime.fingerprint`); binding a different
 context invalidates everything, which is what makes it safe to hand one
 cache object to successive runners.
+
+Misses are reported with the :data:`MISS` sentinel, never ``None`` — a
+cached payload may legitimately *be* ``None``, so ``None`` cannot double
+as "not present".
+
+Two cache flavours exist:
+
+- :class:`QueryCache` — exact-key memoisation only (PR 1 semantics);
+- :class:`MonotoneCache` — additionally answers "verify" and "probe"
+  queries *implied* by the paper's noise-model monotonicity: a ROBUST
+  verdict at ±P covers every ±P' ≤ P (the smaller box is a subset), a
+  VULNERABLE verdict at ±P covers every ±P' ≥ P (its witness stays in
+  range), and a single-node probe flip at magnitude P covers every
+  P' ≥ P (dually for "no flip").  Derived answers are counted in
+  :attr:`CacheStats.derived_hits`, are never stored back as "verify" or
+  "probe" entries (the monotone fact tables hold engine-proved verdicts
+  only), and a derived VULNERABLE verdict carries the witness of the
+  source entry — a valid counterexample for the larger box, though not
+  necessarily the one a cold solver run at that exact percent would
+  report.  One downstream consequence *is* stored: the extraction
+  short-circuit in :meth:`~repro.runtime.runner.QueryRunner.collect_at`
+  memoises its empty "extract" outcome whether the ROBUST verdict that
+  forced it was exact or implied — either way the entry records a fact
+  forced by an engine-proved verdict, exactly as an exact-key hit did
+  in the pre-monotone cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterable
+
+from ..verify.result import VerificationResult, VerificationStatus
 
 #: Structured cache key; see the module docstring for the field layout.
 QueryKey = tuple
 
 
+class _Miss:
+    """Singleton sentinel distinguishing "not cached" from a None payload."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<cache MISS>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Returned by :meth:`QueryCache.get` / :meth:`QueryCache.peek` on a miss.
+MISS = _Miss()
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss accounting, exposed on :class:`QueryCache.stats`."""
+    """Hit/miss accounting, exposed on :class:`QueryCache.stats`.
+
+    ``hits`` counts exact-key hits; ``derived_hits`` counts answers the
+    monotone layer inferred from an entry at a different percent.  Both
+    count as successful lookups for :attr:`hit_rate`.
+    """
 
     hits: int = 0
+    derived_hits: int = 0
     misses: int = 0
     stores: int = 0
     preloads: int = 0
@@ -36,16 +85,23 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.derived_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        return (self.hits + self.derived_hits) / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold a worker's lookup counters into this one (bulk transfer)."""
+        self.hits += other.hits
+        self.derived_hits += other.derived_hits
+        self.misses += other.misses
 
     def describe(self) -> str:
         return (
-            f"cache: {self.hits} hits / {self.misses} misses "
-            f"({self.hit_rate:.0%} hit rate), {self.stores} stores"
+            f"cache: {self.hits} exact + {self.derived_hits} derived hits "
+            f"/ {self.misses} misses ({self.hit_rate:.0%} hit rate), "
+            f"{self.stores} stores, {self.preloads} preloaded"
         )
 
 
@@ -59,6 +115,16 @@ def make_key(
 ) -> QueryKey:
     """Canonical key for one analysis query (input values included)."""
     return (kind, int(index), tuple(int(v) for v in x), int(true_label), int(percent), extra)
+
+
+def _group_of(key: QueryKey) -> tuple:
+    """The percent-independent part of a key: what monotone facts attach to."""
+    kind, index, x, true_label, _percent, extra = key
+    return (kind, index, x, true_label, extra)
+
+
+def _percent_of(key: QueryKey) -> int:
+    return key[4]
 
 
 class QueryCache:
@@ -76,8 +142,10 @@ class QueryCache:
         # Secondary index: (index, input values) → that input's entries,
         # so warm-entry harvesting never scans the whole cache.
         self._by_input: dict[tuple, dict[QueryKey, Any]] = {}
-        #: Entries stored via :meth:`put` since construction or the last
-        #: :meth:`preload` — what a pooled worker ships back to the parent.
+        #: Entries stored via :meth:`put` since construction, the last
+        #: :meth:`preload` or the last journal reset — what a pooled
+        #: worker ships back to the parent, and what a
+        #: :class:`~repro.runtime.store.CacheStore` flush spills to disk.
         self.added: dict[QueryKey, Any] = {}
 
     def __len__(self) -> int:
@@ -106,22 +174,36 @@ class QueryCache:
 
     # -- lookups -------------------------------------------------------------------
 
-    def get(self, key: QueryKey) -> Any | None:
-        """Stats-counted lookup; None on miss (or when disabled)."""
+    def get(self, key: QueryKey) -> Any:
+        """Stats-counted lookup; :data:`MISS` on miss (or when disabled)."""
         if not self.enabled:
             self.stats.misses += 1
-            return None
+            return MISS
         if key in self._entries:
             self.stats.hits += 1
             return self._entries[key]
+        derived = self._derive(key)
+        if derived is not MISS:
+            self.stats.derived_hits += 1
+            return derived
         self.stats.misses += 1
-        return None
+        return MISS
 
-    def peek(self, key: QueryKey) -> Any | None:
-        """Lookup without touching the stats (warm-entry harvesting)."""
+    def peek(self, key: QueryKey) -> Any:
+        """Lookup without touching the stats (warm-entry harvesting).
+
+        Like :meth:`get` this consults the monotone layer (when present),
+        so an extraction short-circuit sees implied ROBUST verdicts too.
+        """
         if not self.enabled:
-            return None
-        return self._entries.get(key)
+            return MISS
+        if key in self._entries:
+            return self._entries[key]
+        return self._derive(key)
+
+    def _derive(self, key: QueryKey) -> Any:
+        """Monotone hook; the exact-key cache never infers anything."""
+        return MISS
 
     def put(self, key: QueryKey, value: Any) -> None:
         if not self.enabled:
@@ -129,9 +211,13 @@ class QueryCache:
         self._entries[key] = value
         self._by_input.setdefault((key[1], key[2]), {})[key] = value
         self.added[key] = value
+        self._index_fact(key, value)
         self.stats.stores += 1
 
-    # -- bulk transfer (parallel workers) --------------------------------------------
+    def _index_fact(self, key: QueryKey, value: Any) -> None:
+        """Monotone hook; called for every entry that enters the cache."""
+
+    # -- bulk transfer (parallel workers, disk store) ----------------------------------
 
     def preload(self, entries: dict[QueryKey, Any]) -> None:
         """Seed entries without counting stores; resets the ``added`` journal."""
@@ -140,8 +226,13 @@ class QueryCache:
         self._entries.update(entries)
         for key, value in entries.items():
             self._by_input.setdefault((key[1], key[2]), {})[key] = value
+            self._index_fact(key, value)
         self.stats.preloads += len(entries)
         self.added.clear()
+
+    def snapshot(self) -> dict[QueryKey, Any]:
+        """Copy of every exact entry (what a disk store persists)."""
+        return dict(self._entries)
 
     def entries_for_input(
         self, index: int, x: Iterable[int], kinds: tuple[str, ...] | None = None
@@ -151,7 +242,9 @@ class QueryCache:
         Served from the per-input secondary index (no full-cache scan).
         ``kinds`` restricts the result to the given key namespaces so a
         task is only shipped entries it can actually consume (a probe
-        task has no use for cached extraction vector lists).
+        task has no use for cached extraction vector lists).  Only exact
+        entries are returned — monotone-derived answers are re-derived
+        on the receiving side from the same facts, never materialised.
         """
         if not self.enabled:
             return {}
@@ -159,3 +252,114 @@ class QueryCache:
         if kinds is None:
             return dict(bucket)
         return {key: value for key, value in bucket.items() if key[0] in kinds}
+
+
+@dataclass
+class _VerifyFacts:
+    """Strongest proved verdicts for one (input, label, extra) group.
+
+    ``robust_max`` is the largest percent with a proved ROBUST verdict
+    (covers every smaller percent); ``vulnerable_min`` the smallest with
+    a proved VULNERABLE verdict (covers every larger percent).  The keys
+    point at the source entries so derived verdicts can carry a witness.
+    """
+
+    robust_max: int | None = None
+    robust_key: QueryKey | None = None
+    vulnerable_min: int | None = None
+    vulnerable_key: QueryKey | None = None
+
+
+@dataclass
+class _ProbeFacts:
+    """Single-node flip thresholds for one (input, label, node, sign) group."""
+
+    flip_min: int | None = None  # smallest percent known to flip
+    noflip_max: int | None = None  # largest percent known not to flip
+
+
+class MonotoneCache(QueryCache):
+    """Exact-key cache plus verdict derivation along the percent axis.
+
+    See the module docstring for the inference rules.  Derivation is
+    sound because the noise boxes are nested (±P' ⊆ ±P for P' ≤ P) and
+    strictly side-effect-free: derived answers are never stored, so the
+    entry table — and therefore the disk store and the warm entries
+    shipped to pooled workers — only ever contains engine-proved facts.
+    """
+
+    def __init__(self, enabled: bool = True, context: str | None = None):
+        super().__init__(enabled=enabled, context=context)
+        self._verify_facts: dict[tuple, _VerifyFacts] = {}
+        self._probe_facts: dict[tuple, _ProbeFacts] = {}
+
+    def clear(self) -> None:
+        super().clear()
+        self._verify_facts.clear()
+        self._probe_facts.clear()
+
+    # -- fact indexing ------------------------------------------------------------
+
+    def _index_fact(self, key: QueryKey, value: Any) -> None:
+        kind = key[0]
+        if kind == "verify" and isinstance(value, VerificationResult):
+            percent = _percent_of(key)
+            facts = self._verify_facts.setdefault(_group_of(key), _VerifyFacts())
+            if value.status is VerificationStatus.ROBUST:
+                if facts.robust_max is None or percent > facts.robust_max:
+                    facts.robust_max, facts.robust_key = percent, key
+            elif value.status is VerificationStatus.VULNERABLE:
+                if facts.vulnerable_min is None or percent < facts.vulnerable_min:
+                    facts.vulnerable_min, facts.vulnerable_key = percent, key
+        elif kind == "probe" and isinstance(value, bool):
+            percent = _percent_of(key)
+            facts = self._probe_facts.setdefault(_group_of(key), _ProbeFacts())
+            if value:
+                if facts.flip_min is None or percent < facts.flip_min:
+                    facts.flip_min = percent
+            else:
+                if facts.noflip_max is None or percent > facts.noflip_max:
+                    facts.noflip_max = percent
+
+    # -- derivation ------------------------------------------------------------------
+
+    def _derive(self, key: QueryKey) -> Any:
+        kind = key[0]
+        if kind == "verify":
+            return self._derive_verify(key)
+        if kind == "probe":
+            return self._derive_probe(key)
+        return MISS
+
+    def _derive_verify(self, key: QueryKey) -> Any:
+        facts = self._verify_facts.get(_group_of(key))
+        if facts is None:
+            return MISS
+        percent = _percent_of(key)
+        if facts.robust_max is not None and percent <= facts.robust_max:
+            return VerificationResult(
+                status=VerificationStatus.ROBUST,
+                engine=f"monotone(robust@±{facts.robust_max}%)",
+                stats={"derived_from_percent": facts.robust_max},
+            )
+        if facts.vulnerable_min is not None and percent >= facts.vulnerable_min:
+            source = self._entries[facts.vulnerable_key]
+            return VerificationResult(
+                status=VerificationStatus.VULNERABLE,
+                witness=source.witness,
+                predicted_label=source.predicted_label,
+                engine=f"monotone(vulnerable@±{facts.vulnerable_min}%)",
+                stats={"derived_from_percent": facts.vulnerable_min},
+            )
+        return MISS
+
+    def _derive_probe(self, key: QueryKey) -> Any:
+        facts = self._probe_facts.get(_group_of(key))
+        if facts is None:
+            return MISS
+        percent = _percent_of(key)
+        if facts.flip_min is not None and percent >= facts.flip_min:
+            return True
+        if facts.noflip_max is not None and percent <= facts.noflip_max:
+            return False
+        return MISS

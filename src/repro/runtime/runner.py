@@ -5,10 +5,18 @@ analyses (P2 tolerance search, P3 extraction, sensitivity probes) issue
 verification work.  It provides:
 
 - **Memoisation** — every query outcome lands in a :class:`QueryCache`
-  keyed by ``(kind, input index, input values, true label, noise percent,
+  (by default the monotonicity-aware :class:`MonotoneCache`) keyed by
+  ``(kind, input index, input values, true label, noise percent,
   extra)`` under a (network, verifier-config) fingerprint context, so the
   tolerance bisection, the literal paper schedule, the Fig.-4 sweep,
-  extraction and the probes stop re-solving identical queries.
+  extraction and the probes stop re-solving identical queries — and,
+  with the monotone layer, stop re-solving queries whose answer is
+  *implied* by a verdict at a different percent.
+- **Persistence** — with ``RuntimeConfig.cache_dir`` set, the cache
+  warm-starts from a per-context :class:`~repro.runtime.store.CacheStore`
+  file at construction and spills new entries back on :meth:`QueryRunner.flush`
+  / :meth:`QueryRunner.close`, so repeated CLI runs over the same model
+  and budget issue zero solver calls.
 - **Fan-out** — independent per-input tasks (see
   :mod:`repro.runtime.tasks`) run over a ``ProcessPoolExecutor`` when
   ``RuntimeConfig.workers > 1``.  Warm cache entries for each task's
@@ -31,8 +39,9 @@ import numpy as np
 from ..config import NoiseConfig, RuntimeConfig, VerifierConfig
 from ..verify import NoiseVectorCollector, PortfolioVerifier, build_query
 from ..verify.result import VerificationResult
-from .cache import CacheStats, QueryCache, make_key
+from .cache import MISS, CacheStats, MonotoneCache, QueryCache, make_key
 from .fingerprint import derive_seed, runtime_context
+from .store import CacheStore
 
 
 @dataclass
@@ -73,13 +82,24 @@ class QueryRunner:
         runtime: RuntimeConfig | None = None,
         verifier=None,
         cache: QueryCache | None = None,
+        store: CacheStore | None = None,
     ):
         self.network = network
         self.config = config or VerifierConfig()
         self.runtime = runtime or RuntimeConfig()
         self._fixed_verifier = verifier
-        self.cache = cache if cache is not None else QueryCache(enabled=self.runtime.cache)
+        if cache is None:
+            cache_cls = MonotoneCache if self.runtime.monotone else QueryCache
+            cache = cache_cls(enabled=self.runtime.cache)
+        self.cache = cache
         self.cache.bind(runtime_context(network, self.config))
+        self.store = store
+        if self.store is None and self.runtime.persistence_enabled:
+            self.store = CacheStore(self.runtime.cache_dir)
+        if self.store is not None and self.cache.enabled:
+            warm = self.store.load(self.cache.context)
+            if warm:
+                self.cache.preload(warm)
         self.stats = RunnerStats()
         self._verifiers: dict[int, PortfolioVerifier] = {}
         self._pool: ProcessPoolExecutor | None = None
@@ -106,7 +126,7 @@ class QueryRunner:
         x = tuple(int(v) for v in x)
         key = make_key("verify", index, x, true_label, percent)
         cached = self.cache.get(key)
-        if cached is not None:
+        if cached is not MISS:
             return cached
         query = build_query(
             self.network,
@@ -134,10 +154,10 @@ class QueryRunner:
             "extract", index, x, true_label, percent, extra=(limit, exhaustive_cutoff)
         )
         cached = self.cache.get(key)
-        if cached is not None:
+        if cached is not MISS:
             return cached
         verdict = self.cache.peek(make_key("verify", index, x, true_label, percent))
-        if verdict is not None and verdict.is_robust:
+        if verdict is not MISS and verdict.is_robust:
             # The P2 pass already proved this box clean: the vector set is
             # empty, no collector run needed.
             outcome = {"vectors": [], "flipped_to": [], "exhausted": True}
@@ -177,7 +197,7 @@ class QueryRunner:
         x = tuple(int(v) for v in x)
         key = make_key("probe", index, x, true_label, percent, extra=(node, sign))
         cached = self.cache.get(key)
-        if cached is not None:
+        if cached is not MISS:
             return cached
         flips = False
         vector = [0] * len(x)
@@ -212,11 +232,13 @@ class QueryRunner:
         values = []
         for outcome in outcomes:
             for key, value in outcome.entries.items():
-                if self.cache.peek(key) is None:
+                # Exact containment, not peek(): a monotone-derivable
+                # answer must not stop the engine-proved entry landing
+                # in the parent cache (and the disk store).
+                if key not in self.cache:
                     self.cache.put(key, value)
             self.stats.merge(outcome.stats)
-            self.cache.stats.hits += outcome.cache_stats.hits
-            self.cache.stats.misses += outcome.cache_stats.misses
+            self.cache.stats.merge(outcome.cache_stats)
             values.append(outcome.value)
         return values
 
@@ -241,6 +263,7 @@ class QueryRunner:
                 network=self.network,
                 config=self.config,
                 verifier=self._fixed_verifier,
+                monotone=self.runtime.monotone,
             )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.runtime.workers,
@@ -249,8 +272,26 @@ class QueryRunner:
             )
         return self._pool
 
+    # -- persistence ----------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Spill new cache entries to the disk store (no-op without one).
+
+        Only called with entries actually added since the warm-start
+        load (or the previous flush): a pure warm replay rewrites
+        nothing, so concurrent readers of the same cache directory are
+        not churned for zero information.
+        """
+        if self.store is None or not self.cache.enabled:
+            return
+        if not self.cache.added:
+            return
+        if self.store.save(self.cache.context, self.cache.snapshot()) is not None:
+            self.cache.added.clear()
+
     def close(self) -> None:
-        """Shut the worker pool down (no-op when none was started)."""
+        """Flush the disk store and shut the worker pool down."""
+        self.flush()
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -279,6 +320,7 @@ class _WorkerContext:
     network: object
     config: VerifierConfig
     verifier: object = None
+    monotone: bool = True
 
 
 @dataclass
@@ -306,7 +348,7 @@ def _run_task(task) -> _TaskOutcome:
     runner = QueryRunner(
         context.network,
         context.config,
-        RuntimeConfig(workers=1, cache=True),
+        RuntimeConfig(workers=1, cache=True, monotone=context.monotone),
         verifier=context.verifier,
     )
     runner.cache.preload(task.warm)

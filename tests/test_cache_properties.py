@@ -1,0 +1,266 @@
+"""Property-based harness for the monotone cache and the disk store.
+
+Randomised adversarial coverage of the two claims the runtime's cache
+layer must never get wrong, checked on small random quantised networks:
+
+1. **Soundness of derivation** — every monotone-derived verdict (verify
+   or probe) equals the verdict a *cold* solver produces for that exact
+   ``(input, percent)`` query, and every derived witness is a genuine
+   in-range counterexample.
+2. **Transparency of persistence** — analysis reports are bit-identical
+   with persistence on, off, and warm-from-disk, and the warm replay
+   issues zero solver calls.
+
+Networks are kept tiny (2 inputs, ≤3 hidden units) so the exhaustive /
+portfolio engines answer each cold query in milliseconds, which lets the
+harness afford a fresh solver call per derived verdict.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import RuntimeConfig
+from repro.core import NoiseToleranceAnalysis
+from repro.data.dataset import Dataset
+from repro.nn.quantize import QuantizedLayer, QuantizedNetwork
+from repro.runtime import MISS, CacheStore, MonotoneCache, QueryRunner, make_key
+
+SCALE = 1000
+MAX_PERCENT = 12  # (2·12+1)² = 625 noise vectors: exhaustively checkable
+
+HARNESS = settings(
+    max_examples=20,
+    deadline=None,  # solver latency varies; flakiness is worse than slowness
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+weight = st.integers(min_value=-2500, max_value=2500)
+
+
+@st.composite
+def quantized_networks(draw) -> QuantizedNetwork:
+    """Random 2-input, 2-output networks with one small hidden ReLU layer."""
+    hidden = draw(st.integers(min_value=2, max_value=3))
+
+    def frac_matrix(rows, cols):
+        return tuple(
+            tuple(Fraction(draw(weight), SCALE) for _ in range(cols))
+            for _ in range(rows)
+        )
+
+    def frac_vector(size):
+        return tuple(Fraction(draw(weight), SCALE) for _ in range(size))
+
+    return QuantizedNetwork(
+        [
+            QuantizedLayer(frac_matrix(hidden, 2), frac_vector(hidden), relu=True),
+            QuantizedLayer(frac_matrix(2, hidden), frac_vector(2), relu=False),
+        ]
+    )
+
+
+inputs = st.tuples(
+    st.integers(min_value=1, max_value=25), st.integers(min_value=1, max_value=25)
+)
+percents = st.integers(min_value=1, max_value=MAX_PERCENT)
+
+
+def cold_verify(network, x, label, percent):
+    """A from-scratch solver answer for one exact (input, percent) query."""
+    return QueryRunner(network, runtime=RuntimeConfig(cache=False)).verify_at(
+        x, label, percent
+    )
+
+
+class TestMonotoneDerivationSoundness:
+    @HARNESS
+    @given(
+        network=quantized_networks(),
+        x=inputs,
+        schedule=st.lists(percents, min_size=2, max_size=8, unique=True),
+    )
+    def test_derived_verify_verdicts_match_a_cold_solver(self, network, x, schedule):
+        label = network.predict(x)
+        runner = QueryRunner(network)
+        for percent in schedule:
+            derived_before = runner.cache.stats.derived_hits
+            result = runner.verify_at(x, label, percent)
+            if runner.cache.stats.derived_hits == derived_before:
+                continue  # exact hit or engine-proved: nothing to cross-check
+            cold = cold_verify(network, x, label, percent)
+            assert result.status == cold.status, (
+                f"derived {result.status} at ±{percent}% but a cold solver "
+                f"says {cold.status} (engine {result.engine})"
+            )
+            if result.is_vulnerable:
+                witness = result.witness
+                assert witness is not None
+                assert max(abs(v) for v in witness) <= percent
+                flipped = network.predict_noisy(x, witness)
+                assert flipped != label
+                assert flipped == result.predicted_label
+
+    @HARNESS
+    @given(
+        network=quantized_networks(),
+        x=inputs,
+        node=st.integers(min_value=0, max_value=1),
+        sign=st.sampled_from([-1, 1]),
+        schedule=st.lists(percents, min_size=2, max_size=8, unique=True),
+    )
+    def test_derived_probe_answers_match_a_cold_probe(
+        self, network, x, node, sign, schedule
+    ):
+        label = network.predict(x)
+        runner = QueryRunner(network)
+        for percent in schedule:
+            derived_before = runner.cache.stats.derived_hits
+            answer = runner.flips_single_node(x, label, node, sign, percent)
+            if runner.cache.stats.derived_hits == derived_before:
+                continue
+            cold = QueryRunner(
+                network, runtime=RuntimeConfig(cache=False)
+            ).flips_single_node(x, label, node, sign, percent)
+            assert answer == cold
+
+    @HARNESS
+    @given(network=quantized_networks(), x=inputs, ceiling=st.integers(4, MAX_PERCENT))
+    def test_every_percent_answer_after_a_search_matches_cold(
+        self, network, x, ceiling
+    ):
+        """After a bisection, *all* percents ≤ ceiling are implied — and right."""
+        label = network.predict(x)
+        analysis = NoiseToleranceAnalysis(network, search_ceiling=ceiling)
+        analysis.min_flip_percent(x, label)
+        solver_calls = analysis.runner.stats.solver_calls
+        for percent in range(1, ceiling + 1):
+            result = analysis.runner.verify_at(x, label, percent)
+            cold = cold_verify(network, x, label, percent)
+            assert result.status == cold.status
+        # The post-search sweep was answered entirely from the cache.
+        assert analysis.runner.stats.solver_calls == solver_calls
+
+
+def canonical(report) -> list:
+    """A tolerance report as comparable plain data (bit-identical check)."""
+    return [
+        (e.index, e.true_label, e.min_flip_percent, e.witness, e.flipped_to, e.queries)
+        for e in report.per_input
+    ]
+
+
+@st.composite
+def small_datasets(draw) -> Dataset:
+    features = draw(st.lists(inputs, min_size=2, max_size=3, unique=True))
+    return Dataset(features=[list(f) for f in features], labels=[0] * len(features))
+
+
+class TestPersistenceTransparency:
+    @HARNESS
+    @given(
+        network=quantized_networks(),
+        dataset=small_datasets(),
+        ceiling=st.integers(4, MAX_PERCENT),
+    )
+    def test_reports_bit_identical_with_persistence_on_off_and_warm(
+        self, network, dataset, ceiling, tmp_path_factory
+    ):
+        dataset = Dataset(
+            features=dataset.features,
+            labels=[network.predict(f) for f in dataset.features],
+        )
+        cache_dir = str(tmp_path_factory.mktemp("qcache"))
+        persisted = RuntimeConfig(cache_dir=cache_dir)
+
+        off = NoiseToleranceAnalysis(network, search_ceiling=ceiling)
+        report_off = off.analyze(dataset)
+
+        on = NoiseToleranceAnalysis(
+            network, search_ceiling=ceiling, runtime=persisted
+        )
+        report_on = on.analyze(dataset)
+        on.runner.close()
+        assert canonical(report_on) == canonical(report_off)
+        assert on.runner.store.saved_entries > 0
+
+        warm = NoiseToleranceAnalysis(
+            network, search_ceiling=ceiling, runtime=persisted
+        )
+        report_warm = warm.analyze(dataset)
+        assert canonical(report_warm) == canonical(report_off)
+        assert warm.runner.stats.solver_calls == 0  # everything came from disk
+        assert warm.runner.store.loaded_entries > 0
+
+    @HARNESS
+    @given(
+        network=quantized_networks(),
+        x=inputs,
+        first=st.integers(4, MAX_PERCENT),
+        second=st.integers(4, MAX_PERCENT),
+    )
+    def test_warm_start_at_a_new_ceiling_still_matches_cold(
+        self, network, x, first, second, tmp_path_factory
+    ):
+        """Monotone reuse across runs with *different* ceilings stays sound."""
+        label = network.predict(x)
+        cache_dir = str(tmp_path_factory.mktemp("qcache"))
+        persisted = RuntimeConfig(cache_dir=cache_dir)
+
+        run1 = NoiseToleranceAnalysis(network, search_ceiling=first, runtime=persisted)
+        run1.min_flip_percent(x, label)
+        run1.runner.close()
+
+        run2 = NoiseToleranceAnalysis(network, search_ceiling=second, runtime=persisted)
+        entry = run2.min_flip_percent(x, label)
+        cold = NoiseToleranceAnalysis(
+            network, search_ceiling=second, runtime=RuntimeConfig(cache=False)
+        ).min_flip_percent(x, label)
+        assert (entry.min_flip_percent, entry.flipped_to, entry.queries) == (
+            cold.min_flip_percent,
+            cold.flipped_to,
+            cold.queries,
+        )
+
+
+class TestStoreRoundTripProperty:
+    @HARNESS
+    @given(
+        payloads=st.dictionaries(
+            keys=st.tuples(
+                st.sampled_from(["verify", "extract", "probe"]),
+                st.integers(-1, 5),
+                st.tuples(st.integers(0, 50), st.integers(0, 50)),
+                st.integers(0, 1),
+                percents,
+            ),
+            values=st.one_of(
+                st.none(), st.booleans(), st.integers(), st.text(max_size=8)
+            ),
+            max_size=12,
+        ),
+        context=st.from_regex(r"[0-9a-f]{6}:[0-9a-f]{6}", fullmatch=True),
+    )
+    def test_any_entry_dict_round_trips_exactly(
+        self, payloads, context, tmp_path_factory
+    ):
+        entries = {
+            make_key(kind, index, x, label, percent): value
+            for (kind, index, x, label, percent), value in payloads.items()
+        }
+        store = CacheStore(tmp_path_factory.mktemp("qcache"))
+        store.save(context, entries)
+        loaded = store.load(context)
+        assert loaded == entries
+        # MISS-vs-None discipline survives the disk: None payloads load
+        # as real entries, not as absent keys.
+        cache = MonotoneCache()
+        cache.preload(loaded)
+        for key, value in entries.items():
+            got = cache.peek(key)
+            assert got is not MISS
+            assert got == value or (got is None and value is None)

@@ -60,3 +60,60 @@ INVARSPEC n <= 1;
         assert main(["statespace", "--noise", "1"]) == 0
         out = capsys.readouterr().out
         assert "3 states, 6 transitions" in out
+
+
+class TestCliCachePersistence:
+    """`--cache-dir` warm replays: second run answers everything from disk."""
+
+    def _tolerance(self, capsys, *extra):
+        assert main(["tolerance", "--ceiling", "6", *extra]) == 0
+        return capsys.readouterr().out
+
+    @staticmethod
+    def _report_lines(out: str) -> list[str]:
+        """The verdict lines only (stats lines legitimately differ)."""
+        return [
+            line
+            for line in out.splitlines()
+            if line.startswith(("noise tolerance", "  test["))
+        ]
+
+    def test_second_run_issues_zero_solver_calls(self, tmp_path, capsys):
+        cache_dir = tmp_path / "qcache"
+        cold = self._tolerance(capsys, "--cache-dir", str(cache_dir))
+        assert "runner: 0 verifier calls" not in cold
+        assert "saved under" in cold
+        assert list(cache_dir.glob("*.qcache"))
+
+        warm = self._tolerance(capsys, "--cache-dir", str(cache_dir))
+        assert "runner: 0 verifier calls, 0 extractions" in warm
+        assert "entries loaded" in warm
+        # Bit-identical verdicts, cold vs warm-from-disk.
+        assert self._report_lines(warm) == self._report_lines(cold)
+
+    def test_no_persist_neither_reads_nor_writes(self, tmp_path, capsys):
+        cache_dir = tmp_path / "qcache"
+        self._tolerance(capsys, "--cache-dir", str(cache_dir))
+        stamp = {p: p.stat().st_mtime_ns for p in cache_dir.glob("*.qcache")}
+        assert stamp
+
+        out = self._tolerance(
+            capsys, "--cache-dir", str(cache_dir), "--no-persist"
+        )
+        assert "runner: 0 verifier calls" not in out  # the disk cache was not read
+        assert "cache store:" not in out  # and no store was active
+        assert {p: p.stat().st_mtime_ns for p in cache_dir.glob("*.qcache")} == stamp
+
+    def test_corrupt_cache_file_degrades_to_cold_run(self, tmp_path, capsys):
+        import pytest
+
+        from repro.runtime import CacheStoreWarning
+
+        cache_dir = tmp_path / "qcache"
+        self._tolerance(capsys, "--cache-dir", str(cache_dir))
+        for path in cache_dir.glob("*.qcache"):
+            path.write_bytes(path.read_bytes()[:40])  # truncate mid-header
+        with pytest.warns(CacheStoreWarning):
+            out = self._tolerance(capsys, "--cache-dir", str(cache_dir))
+        assert "0 entries loaded" in out
+        assert "runner: 0 verifier calls" not in out  # genuinely re-solved

@@ -17,7 +17,9 @@ from repro.config import NoiseConfig, RuntimeConfig, VerifierConfig
 from repro.errors import ConfigError
 from repro.nn.quantize import QuantizedLayer, QuantizedNetwork
 from repro.runtime import (
+    MISS,
     ExtractionTask,
+    MonotoneCache,
     QueryCache,
     QueryRunner,
     ToleranceSearchTask,
@@ -27,6 +29,7 @@ from repro.runtime import (
     runtime_context,
     verifier_fingerprint,
 )
+from repro.verify.result import VerificationResult, VerificationStatus
 from repro.verify import PortfolioVerifier, build_query
 
 SCALE = 1000
@@ -83,7 +86,7 @@ class TestQueryCache:
     def test_hit_and_miss_accounting(self):
         cache = QueryCache()
         key = make_key("verify", 0, (1, 2), 0, 5)
-        assert cache.get(key) is None
+        assert cache.get(key) is MISS
         cache.put(key, "value")
         assert cache.get(key) == "value"
         assert cache.stats.misses == 1
@@ -94,7 +97,7 @@ class TestQueryCache:
     def test_peek_does_not_touch_stats(self):
         cache = QueryCache()
         key = make_key("verify", 0, (1,), 0, 5)
-        assert cache.peek(key) is None
+        assert cache.peek(key) is MISS
         cache.put(key, "value")
         assert cache.peek(key) == "value"
         assert cache.stats.lookups == 0
@@ -103,9 +106,28 @@ class TestQueryCache:
         cache = QueryCache(enabled=False)
         key = make_key("verify", 0, (1,), 0, 5)
         cache.put(key, "value")
-        assert cache.get(key) is None
+        assert cache.get(key) is MISS
         assert len(cache) == 0
         assert cache.stats.misses == 1
+
+    def test_none_payload_is_a_hit_not_a_miss(self):
+        """Regression: a legitimately-None payload must not read as a miss."""
+        cache = QueryCache()
+        key = make_key("probe", 0, (1, 2), 0, 5, extra=(0, 1))
+        cache.put(key, None)
+        assert cache.get(key) is None  # the cached payload, not a miss
+        assert cache.get(key) is not MISS
+        assert cache.peek(key) is None and cache.peek(key) is not MISS
+        assert cache.stats.hits == 1 + 1  # peek never counts; both gets hit
+        assert cache.stats.misses == 0
+
+    def test_miss_sentinel_is_falsy_and_unique(self):
+        assert not MISS
+        assert MISS is not None
+        cache = MonotoneCache()
+        cache.put(make_key("probe", 0, (1,), 0, 5, extra=(0, 1)), None)
+        # The monotone fact indexer must skip non-bool probe payloads.
+        assert cache.get(make_key("probe", 0, (1,), 0, 9, extra=(0, 1))) is MISS
 
     def test_rebinding_same_context_keeps_entries(self):
         cache = QueryCache()
@@ -131,6 +153,143 @@ class TestQueryCache:
         cache.put(key_b, "b")
         assert cache.entries_for_input(0, (1, 2)) == {key_a: "a"}
         assert cache.entries_for_input(0, (9, 9)) == {}
+
+    def test_entries_for_input_mixes_empty_and_nonempty_extras(self):
+        """Keys with extra=() and extra=(...) for one input coexist."""
+        for cache in (QueryCache(), MonotoneCache()):
+            verify_key = make_key("verify", 2, (5, 6), 1, 10)  # extra ()
+            extract_key = make_key("extract", 2, (5, 6), 1, 10, extra=(None, 100))
+            probe_key = make_key("probe", 2, (5, 6), 1, 10, extra=(0, -1))
+            cache.put(verify_key, "verdict")
+            cache.put(extract_key, "vectors")
+            cache.put(probe_key, True)
+            bucket = cache.entries_for_input(2, (5, 6))
+            assert set(bucket) == {verify_key, extract_key, probe_key}
+            assert cache.entries_for_input(2, (5, 6), kinds=("verify",)) == {
+                verify_key: "verdict"
+            }
+            assert set(
+                cache.entries_for_input(2, (5, 6), kinds=("extract", "probe"))
+            ) == {extract_key, probe_key}
+
+
+def robust(engine="test"):
+    return VerificationResult(status=VerificationStatus.ROBUST, engine=engine)
+
+
+def vulnerable(witness=(3, -3), label=1, engine="test"):
+    return VerificationResult(
+        status=VerificationStatus.VULNERABLE,
+        witness=witness,
+        predicted_label=label,
+        engine=engine,
+    )
+
+
+class TestMonotoneCache:
+    def test_robust_verdict_covers_smaller_percents(self):
+        cache = MonotoneCache()
+        cache.put(make_key("verify", 0, (1, 2), 0, 12), robust())
+        derived = cache.get(make_key("verify", 0, (1, 2), 0, 7))
+        assert derived is not MISS and derived.is_robust
+        assert "monotone" in derived.engine
+        # Not covered above the proved percent.
+        assert cache.get(make_key("verify", 0, (1, 2), 0, 13)) is MISS
+
+    def test_vulnerable_verdict_covers_larger_percents_with_witness(self):
+        cache = MonotoneCache()
+        cache.put(make_key("verify", 0, (1, 2), 0, 9), vulnerable(witness=(4, -9)))
+        derived = cache.get(make_key("verify", 0, (1, 2), 0, 30))
+        assert derived is not MISS and derived.is_vulnerable
+        assert derived.witness == (4, -9)  # valid in the larger box too
+        assert derived.predicted_label == 1
+        assert cache.get(make_key("verify", 0, (1, 2), 0, 8)) is MISS
+
+    def test_strongest_fact_wins(self):
+        cache = MonotoneCache()
+        cache.put(make_key("verify", 0, (1,), 0, 5), robust())
+        cache.put(make_key("verify", 0, (1,), 0, 8), robust())
+        cache.put(make_key("verify", 0, (1,), 0, 20), vulnerable())
+        cache.put(make_key("verify", 0, (1,), 0, 15), vulnerable(witness=(15,)))
+        assert cache.get(make_key("verify", 0, (1,), 0, 8)).is_robust  # exact
+        assert cache.get(make_key("verify", 0, (1,), 0, 6)).is_robust  # derived
+        derived = cache.get(make_key("verify", 0, (1,), 0, 40))
+        assert derived.witness == (15,)  # from the *minimal* vulnerable entry
+        assert cache.get(make_key("verify", 0, (1,), 0, 12)) is MISS  # gap
+
+    def test_no_derivation_across_groups(self):
+        """Different input, label, index or extra never share facts."""
+        cache = MonotoneCache()
+        cache.put(make_key("verify", 0, (1, 2), 0, 12), robust())
+        for other in (
+            make_key("verify", 1, (1, 2), 0, 5),  # different index
+            make_key("verify", 0, (9, 9), 0, 5),  # different values
+            make_key("verify", 0, (1, 2), 1, 5),  # different label
+            make_key("verify", 0, (1, 2), 0, 5, extra=("x",)),  # different extra
+            make_key("extract", 0, (1, 2), 0, 5),  # different kind
+        ):
+            assert cache.get(other) is MISS
+
+    def test_probe_flip_thresholds_derive_both_ways(self):
+        cache = MonotoneCache()
+        cache.put(make_key("probe", 0, (1,), 0, 10, extra=(2, 1)), True)
+        cache.put(make_key("probe", 0, (1,), 0, 4, extra=(2, 1)), False)
+        assert cache.get(make_key("probe", 0, (1,), 0, 15, extra=(2, 1))) is True
+        assert cache.get(make_key("probe", 0, (1,), 0, 2, extra=(2, 1))) is False
+        assert cache.get(make_key("probe", 0, (1,), 0, 7, extra=(2, 1))) is MISS
+        # Opposite sign is a different group.
+        assert cache.get(make_key("probe", 0, (1,), 0, 15, extra=(2, -1))) is MISS
+
+    def test_derived_hits_counted_separately(self):
+        cache = MonotoneCache()
+        key = make_key("verify", 0, (1,), 0, 10)
+        cache.put(key, robust())
+        assert cache.get(key).is_robust  # exact
+        assert cache.get(make_key("verify", 0, (1,), 0, 3)).is_robust  # derived
+        assert cache.get(make_key("verify", 0, (1,), 0, 99)) is MISS  # miss
+        assert (cache.stats.hits, cache.stats.derived_hits, cache.stats.misses) == (
+            1,
+            1,
+            1,
+        )
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        assert "derived" in cache.stats.describe()
+
+    def test_derived_answers_are_never_materialised(self):
+        cache = MonotoneCache()
+        cache.put(make_key("verify", 0, (1, 2), 0, 12), robust())
+        assert cache.get(make_key("verify", 0, (1, 2), 0, 7)).is_robust
+        assert len(cache) == 1  # still only the proved entry
+        assert make_key("verify", 0, (1, 2), 0, 7) not in cache
+        # Warm-entry harvesting ships only the proved fact.
+        assert list(cache.entries_for_input(0, (1, 2))) == [
+            make_key("verify", 0, (1, 2), 0, 12)
+        ]
+
+    def test_preload_rebuilds_monotone_facts(self):
+        source = MonotoneCache()
+        source.put(make_key("verify", 0, (1,), 0, 10), robust())
+        source.put(make_key("probe", 0, (1,), 0, 6, extra=(0, 1)), True)
+        target = MonotoneCache()
+        target.preload(source.snapshot())
+        assert target.get(make_key("verify", 0, (1,), 0, 4)).is_robust
+        assert target.get(make_key("probe", 0, (1,), 0, 9, extra=(0, 1))) is True
+        assert target.stats.derived_hits == 2
+
+    def test_context_invalidation_drops_monotone_facts(self):
+        cache = MonotoneCache()
+        cache.bind("ctx-a")
+        cache.put(make_key("verify", 0, (1,), 0, 10), robust())
+        cache.bind("ctx-b")
+        assert cache.get(make_key("verify", 0, (1,), 0, 4)) is MISS
+        assert cache.stats.invalidations == 1
+
+    def test_disabled_monotone_cache_never_derives(self):
+        cache = MonotoneCache(enabled=False)
+        cache.put(make_key("verify", 0, (1,), 0, 10), robust())
+        assert cache.get(make_key("verify", 0, (1,), 0, 4)) is MISS
+        assert cache.stats.derived_hits == 0
 
 
 class TestFingerprints:
@@ -232,6 +391,183 @@ class TestRunnerCaching:
         direct = PortfolioVerifier(VerifierConfig()).verify(query)
         via_runner = runner.verify_at(x, label, 8)
         assert via_runner.status == direct.status
+
+
+class TestRunnerMonotoneReuse:
+    def test_implied_verdicts_skip_the_solver(self, network, x, label):
+        verifier = CountingVerifier()
+        runner = QueryRunner(network, verifier=verifier)
+        assert isinstance(runner.cache, MonotoneCache)  # the default
+        first = runner.verify_at(x, label, 20)
+        assert first.is_vulnerable
+        wider = runner.verify_at(x, label, 30)  # implied by vulnerable@20
+        robust_small = runner.verify_at(x, label, 3)
+        tighter = runner.verify_at(x, label, 1)  # implied by robust@3
+        assert verifier.calls == 2
+        assert wider.is_vulnerable and tighter.is_robust
+        assert runner.cache.stats.derived_hits == 2
+        assert robust_small.is_robust
+
+    def test_derived_verdict_matches_cold_solver(self, network, x, label):
+        runner = QueryRunner(network)
+        runner.verify_at(x, label, 20)
+        derived = runner.verify_at(x, label, 26)
+        cold = QueryRunner(
+            network, runtime=RuntimeConfig(cache=False)
+        ).verify_at(x, label, 26)
+        assert derived.status == cold.status
+        # The derived witness is a genuine counterexample for ±26.
+        assert max(abs(v) for v in derived.witness) <= 26
+        assert network.predict_noisy(x, derived.witness) != label
+
+    def test_monotone_off_reverts_to_exact_key_reuse(self, network, x, label):
+        verifier = CountingVerifier()
+        runner = QueryRunner(
+            network, runtime=RuntimeConfig(monotone=False), verifier=verifier
+        )
+        assert type(runner.cache) is QueryCache
+        runner.verify_at(x, label, 20)
+        runner.verify_at(x, label, 30)  # exact-key cache must re-solve
+        assert verifier.calls == 2
+        assert runner.cache.stats.derived_hits == 0
+
+    def test_implied_robust_short_circuits_extraction(self, network, x, label):
+        runner = QueryRunner(network)
+        assert runner.verify_at(x, label, 3).is_robust
+        # No exact verify entry at ±2, but robust@3 implies the box is clean.
+        outcome = runner.collect_at(x, label, 2, limit=None, exhaustive_cutoff=10**6)
+        assert outcome == {"vectors": [], "flipped_to": [], "exhausted": True}
+        assert runner.stats.extract_calls == 0
+
+    def test_probe_thresholds_derive_through_the_runner(self, network, x, label):
+        runner = QueryRunner(network)
+        flipped = runner.flips_single_node(x, label, node=0, sign=1, percent=40)
+        evals = runner.stats.probe_evals
+        if flipped:
+            assert runner.flips_single_node(x, label, node=0, sign=1, percent=50)
+        else:
+            assert not runner.flips_single_node(x, label, node=0, sign=1, percent=30)
+        assert runner.stats.probe_evals == evals  # answered by derivation
+        assert runner.cache.stats.derived_hits >= 1
+
+    def test_sweep_after_analyze_issues_zero_solver_calls(self, network):
+        from repro.core import NoiseToleranceAnalysis
+        from repro.data.dataset import Dataset
+
+        features = [[10, 20], [14, 9], [7, 31]]
+        labels = [network.predict(f) for f in features]
+        dataset = Dataset(features=features, labels=labels)
+        analysis = NoiseToleranceAnalysis(network, search_ceiling=16)
+        analysis.analyze(dataset)
+        calls = analysis.runner.stats.solver_calls
+        sweep = analysis.sweep(dataset, percents=list(range(1, 17)))
+        assert analysis.runner.stats.solver_calls == calls  # all implied
+        # Vulnerability is monotone in the percent across the sweep.
+        counts = [len(sweep[p]) for p in range(1, 17)]
+        assert counts == sorted(counts)
+
+    def test_parallel_workers_share_monotone_facts(self, network, x, label):
+        runner = QueryRunner(network, runtime=RuntimeConfig(workers=2))
+        tasks = [
+            ToleranceSearchTask(
+                index=index, x=x, true_label=label, ceiling=12, schedule="binary"
+            )
+            for index in range(2)
+        ]
+        serial = QueryRunner(network)
+        assert runner.run_tasks(tasks) == serial.run_tasks(
+            [
+                ToleranceSearchTask(
+                    index=index, x=x, true_label=label, ceiling=12, schedule="binary"
+                )
+                for index in range(2)
+            ]
+        )
+        # The paper-schedule replay over the same runner consumes implied
+        # verdicts: vulnerable@P answers every percent above it.
+        before = runner.stats.solver_calls
+        replay = [
+            ToleranceSearchTask(
+                index=index, x=x, true_label=label, ceiling=30, schedule="paper"
+            )
+            for index in range(2)
+        ]
+        outcomes = runner.run_tasks(replay)
+        assert [o["min_flip_percent"] for o in outcomes] == [
+            o["min_flip_percent"]
+            for o in serial.run_tasks(
+                [
+                    ToleranceSearchTask(
+                        index=index, x=x, true_label=label, ceiling=30, schedule="paper"
+                    )
+                    for index in range(2)
+                ]
+            )
+        ]
+        assert runner.stats.solver_calls - before < serial.stats.solver_calls
+
+
+class TestRunnerPersistence:
+    def test_cold_then_warm_from_disk(self, tmp_path, network, x, label):
+        runtime = RuntimeConfig(cache_dir=str(tmp_path))
+        verifier = CountingVerifier()
+        cold = QueryRunner(network, runtime=runtime, verifier=verifier)
+        cold.verify_at(x, label, 10)
+        cold.collect_at(x, label, 10, limit=5, exhaustive_cutoff=10**6)
+        cold.close()
+        assert cold.store.saved_entries == 2
+        assert list(tmp_path.glob("*.qcache"))
+
+        warm_verifier = CountingVerifier()
+        warm = QueryRunner(network, runtime=runtime, verifier=warm_verifier)
+        assert warm.store.loaded_entries == 2
+        first = warm.verify_at(x, label, 10)
+        again = warm.collect_at(x, label, 10, limit=5, exhaustive_cutoff=10**6)
+        assert warm_verifier.calls == 0 and warm.stats.solver_calls == 0
+        assert first.status == cold.verify_at(x, label, 10).status
+        assert again == cold.collect_at(x, label, 10, limit=5, exhaustive_cutoff=10**6)
+
+    def test_warm_replay_does_not_rewrite_the_file(self, tmp_path, network, x, label):
+        runtime = RuntimeConfig(cache_dir=str(tmp_path))
+        cold = QueryRunner(network, runtime=runtime)
+        cold.verify_at(x, label, 10)
+        cold.close()
+        path = next(tmp_path.glob("*.qcache"))
+        stamp = (path.stat().st_mtime_ns, path.read_bytes())
+        warm = QueryRunner(network, runtime=runtime)
+        warm.verify_at(x, label, 10)
+        warm.close()  # nothing new → no write
+        assert (path.stat().st_mtime_ns, path.read_bytes()) == stamp
+
+    def test_no_persist_ignores_the_cache_dir(self, tmp_path, network, x, label):
+        QueryRunner(
+            network, runtime=RuntimeConfig(cache_dir=str(tmp_path))
+        ).verify_at(x, label, 10)
+        runtime = RuntimeConfig(cache_dir=str(tmp_path), persist=False)
+        runner = QueryRunner(network, runtime=runtime)
+        assert runner.store is None
+        runner.verify_at(x, label, 10)
+        assert runner.stats.verify_calls == 1  # cold: the file was not read
+        runner.close()
+
+    def test_cache_disabled_disables_persistence(self, tmp_path, network, x, label):
+        runtime = RuntimeConfig(cache=False, cache_dir=str(tmp_path))
+        runner = QueryRunner(network, runtime=runtime)
+        assert runner.store is None
+        runner.verify_at(x, label, 10)
+        runner.close()
+        assert not list(tmp_path.glob("*.qcache"))
+
+    def test_config_change_keys_a_different_file(self, tmp_path, network, x, label):
+        runtime = RuntimeConfig(cache_dir=str(tmp_path))
+        first = QueryRunner(network, VerifierConfig(seed=0), runtime=runtime)
+        first.verify_at(x, label, 10)
+        first.close()
+        other = QueryRunner(network, VerifierConfig(seed=1), runtime=runtime)
+        assert other.store.loaded_entries == 0  # different context, cold start
+        other.verify_at(x, label, 10)
+        other.close()
+        assert len(list(tmp_path.glob("*.qcache"))) == 2
 
 
 class TestRunnerFanOut:
