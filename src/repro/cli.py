@@ -52,6 +52,22 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="with --cache-dir: neither read nor write the disk cache this run",
     )
+    parser.add_argument(
+        "--frontier",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resolve whole probe ladders/grids through the frontier-batched "
+        "bulk prepass before any complete engine runs (--no-frontier falls "
+        "back to one query at a time; reports are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=4096,
+        metavar="ROWS",
+        help="rows per concatenated bulk network evaluation in the frontier "
+        "prepass (a memory knob; results do not depend on it)",
+    )
 
 
 def _runtime_config(args) -> RuntimeConfig:
@@ -60,6 +76,8 @@ def _runtime_config(args) -> RuntimeConfig:
         cache=not args.no_cache,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
         persist=not args.no_persist,
+        frontier=args.frontier,
+        batch_size=args.batch_size,
     )
 
 
@@ -159,6 +177,7 @@ def _cmd_run(args) -> int:
     print(report.summary())
     print(fannet.runner.stats.describe())
     print(fannet.runner.cache.stats.describe())
+    print(fannet.engine_utilisation())
     _print_store(fannet.runner)
     if args.json is not None:
         payload = {
@@ -272,6 +291,7 @@ def _cmd_tolerance(args) -> int:
     print(f"noise tolerance: ±{report.tolerance}%")
     print(analysis.runner.stats.describe())
     print(analysis.runner.cache.stats.describe())
+    print(analysis.runner.engine_stats.describe_table())
     _print_store(analysis.runner)
     for entry in report.per_input:
         flip = (

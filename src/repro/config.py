@@ -121,6 +121,15 @@ class RuntimeConfig:
     :mod:`repro.runtime.store`).  ``persist=False`` keeps a configured
     ``cache_dir`` untouched (neither read nor written) for this run.
     ``cache_dir=None`` (the default) disables persistence entirely.
+
+    ``frontier=True`` (the default) lets the analyses submit whole probe
+    ladders to the frontier-batched verification plane
+    (:mod:`repro.verify.batch`): a vectorised bulk prepass resolves the
+    cheap mass of every ladder before any complete engine runs, and
+    grid-shaped workloads dispatch their boundary-band survivors along a
+    monotone bisection.  Reports are bit-identical with the frontier on
+    or off; ``batch_size`` caps the rows per concatenated bulk network
+    evaluation (a memory knob — it can never move a result).
     """
 
     workers: int = 1
@@ -128,10 +137,14 @@ class RuntimeConfig:
     monotone: bool = True
     cache_dir: str | None = None
     persist: bool = True
+    frontier: bool = True
+    batch_size: int = 4096
 
     def __post_init__(self):
         if self.workers <= 0:
             raise ConfigError("workers must be positive")
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be positive")
 
     @property
     def persistence_enabled(self) -> bool:

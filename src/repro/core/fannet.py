@@ -104,6 +104,15 @@ class Fannet:
         """
         self.runner.close()
 
+    def engine_utilisation(self) -> str:
+        """Per-engine decide-rate / wall-time table for this run.
+
+        Aggregated across every analysis that ran on the shared runner —
+        including worker processes and the frontier bulk passes — and
+        the same statistics the portfolio scheduler orders stages by.
+        """
+        return self.runner.engine_stats.describe_table()
+
     # -- behaviour extraction / P1 --------------------------------------------
 
     def validate(self) -> bool:

@@ -103,7 +103,14 @@ class NoiseVectorExtraction:
         return InputNoiseVectors(index=index, true_label=true_label, **outcome)
 
     def extract(self, dataset: Dataset, noise_percent: int) -> ExtractionReport:
-        """P3 extraction over every correctly-classified input."""
+        """P3 extraction over every correctly-classified input.
+
+        With the frontier plane enabled, the whole input frontier at
+        ``±noise_percent`` is first bulk-verified by the cheap passes
+        (no complete engines): inputs the prepass proves robust
+        short-circuit to an empty vector set before any collector —
+        or worker process — spins up.
+        """
         report = ExtractionReport(noise_percent=noise_percent)
         tasks: list[ExtractionTask] = []
         for index in range(dataset.num_samples):
@@ -112,6 +119,11 @@ class NoiseVectorExtraction:
             if self.network.predict(x) != true_label:
                 continue
             tasks.append(self._task(x, true_label, noise_percent, index))
+        if getattr(self.runner, "frontier_enabled", False):
+            self.runner.verify_frontier(
+                [(t.index, t.x, t.true_label, t.percent) for t in tasks],
+                complete=False,
+            )
         for task, outcome in zip(tasks, self.runner.run_tasks(tasks)):
             report.per_input.append(
                 InputNoiseVectors(index=task.index, true_label=task.true_label, **outcome)

@@ -24,6 +24,13 @@ therefore share verdicts with each other, with the Fig.-4 sweep and with
 the later P3 extraction pass, and parallel runs reproduce serial runs
 bit for bit.
 
+With ``RuntimeConfig.frontier`` (the default) each task also submits its
+whole probe ladder — every rung up to the ceiling, binary-search rungs
+included, speculatively — to the frontier-batched prepass
+(:mod:`repro.verify.batch`) before searching: the vectorised incomplete
+passes decide the cheap mass of the ladder in bulk, and the search's own
+probes only reach a complete engine inside the thin boundary band.
+
 Both schedules also consume *implied* verdicts: the runner's default
 :class:`~repro.runtime.MonotoneCache` answers a probe at ±P from any
 proved ROBUST verdict at ±P' ≥ P or VULNERABLE verdict at ±P' ≤ P, so a
@@ -186,15 +193,28 @@ class NoiseToleranceAnalysis:
         implied verdict and *zero* solver calls are issued, whereas an
         exact-key cache re-solves each percent the search never probed
         directly.
+
+        On a cold runner the whole (input × percent) grid goes through
+        the frontier plane in one :meth:`~repro.runtime.QueryRunner.verify_frontier`
+        call: the bulk prepass decides the cheap mass and each input's
+        boundary band costs only a logarithmic number of complete-engine
+        calls (monotone bisection) instead of one per grid point.
         """
-        vulnerable: dict[int, list[int]] = {p: [] for p in percents}
+        from ..runtime import make_key
+
+        grid: list[tuple[int, tuple, int, int]] = []
         for index in range(dataset.num_samples):
             x = np.asarray(dataset.features[index])
             true_label = int(dataset.labels[index])
             if self.network.predict(x) != true_label:
                 continue  # excluded, as in analyze()
+            x = tuple(int(v) for v in x)
             for percent in percents:
-                result = self.runner.verify_at(x, true_label, percent, index=index)
-                if result.is_vulnerable:
-                    vulnerable[percent].append(index)
+                grid.append((index, x, true_label, percent))
+        results = self.runner.verify_frontier(grid, complete=True)
+        vulnerable: dict[int, list[int]] = {p: [] for p in percents}
+        for index, x, true_label, percent in grid:
+            key = make_key("verify", index, x, true_label, percent)
+            if results[key].is_vulnerable:
+                vulnerable[percent].append(index)
         return vulnerable

@@ -6,8 +6,13 @@ each issue hundreds of *independent* verification queries per input.
 This package turns that structure into throughput:
 
 - :class:`QueryRunner` — the chokepoint every analysis submits work
-  through: memoised single queries plus per-input task fan-out over a
-  process pool with deterministic ``(seed, input index)`` seeding;
+  through: memoised single queries, whole-ladder/grid frontiers resolved
+  by the vectorised bulk prepass of :mod:`repro.verify.batch`
+  (``RuntimeConfig.frontier``), plus per-input task fan-out over a
+  process pool with deterministic ``(seed, input index)`` seeding.  An
+  :class:`~repro.verify.stats.EngineStats` table — persisted alongside
+  the cache — records per-stage decide rates and wall time and drives
+  the portfolio's stage order per workload;
 - :class:`QueryCache` / :class:`MonotoneCache` / :class:`CacheStats` —
   the keyed query memo with fingerprint-based invalidation.  Lookups
   return :data:`MISS` (never ``None``) when nothing is cached, so a
@@ -42,6 +47,7 @@ policy, monotone reuse and the persistence directory; ``--workers`` /
 ``--no-cache`` / ``--cache-dir`` / ``--no-persist`` expose it on the CLI.
 """
 
+from ..verify.stats import EngineStats, StageStat
 from .cache import MISS, CacheStats, MonotoneCache, QueryCache, make_key
 from .fingerprint import (
     derive_seed,
@@ -56,6 +62,8 @@ from .tasks import ExtractionTask, ProbeTask, ToleranceSearchTask
 __all__ = [
     "QueryRunner",
     "RunnerStats",
+    "EngineStats",
+    "StageStat",
     "QueryCache",
     "MonotoneCache",
     "CacheStats",

@@ -1,4 +1,4 @@
-"""Parallel, cache-aware execution of analysis queries.
+"""Parallel, cache-aware, frontier-batched execution of analysis queries.
 
 :class:`QueryRunner` is the single chokepoint through which the FANNet
 analyses (P2 tolerance search, P3 extraction, sensitivity probes) issue
@@ -16,7 +16,22 @@ verification work.  It provides:
   warm-starts from a per-context :class:`~repro.runtime.store.CacheStore`
   file at construction and spills new entries back on :meth:`QueryRunner.flush`
   / :meth:`QueryRunner.close`, so repeated CLI runs over the same model
-  and budget issue zero solver calls.
+  and budget issue zero solver calls.  The per-engine statistics table
+  rides in the same file, so stage scheduling warm-starts too.
+- **Frontier batching** — with ``RuntimeConfig.frontier`` (the default),
+  the analyses submit whole probe ladders and grids
+  (:meth:`prepass_ladder`, :meth:`verify_frontier`,
+  :meth:`probe_ladder`): a vectorised bulk prepass
+  (:class:`~repro.verify.batch.FrontierPrepass`) resolves the cheap mass
+  of the frontier — one interval matmul pair per layer for *all*
+  queries, concatenated falsifier evaluations — and only the boundary
+  band reaches a complete engine, per query (lazily for searches,
+  monotone-bisected for grids).  Bit-identical to the per-query path.
+- **Portfolio scheduling** — an :class:`~repro.verify.stats.EngineStats`
+  table records per-stage decide rates and wall time; the per-index
+  portfolios and the bulk prepass reorder their incomplete stages from
+  it (verdict- and witness-preserving by construction, see
+  :mod:`repro.verify.stats`).
 - **Fan-out** — independent per-input tasks (see
   :mod:`repro.runtime.tasks`) run over a ``ProcessPoolExecutor`` when
   ``RuntimeConfig.workers > 1``.  Warm cache entries for each task's
@@ -37,7 +52,16 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..config import NoiseConfig, RuntimeConfig, VerifierConfig
-from ..verify import NoiseVectorCollector, PortfolioVerifier, build_query
+from ..verify import (
+    EngineStats,
+    FrontierPrepass,
+    FrontierProbe,
+    NoiseVectorCollector,
+    PortfolioVerifier,
+    build_query,
+    labels_for_rows,
+    resolve_survivors,
+)
 from ..verify.result import VerificationResult
 from .cache import MISS, CacheStats, MonotoneCache, QueryCache, make_key
 from .fingerprint import derive_seed, runtime_context
@@ -53,6 +77,8 @@ class RunnerStats:
     probe_evals: int = 0
     tasks: int = 0
     parallel_batches: int = 0
+    frontier_queries: int = 0  # probes entering a bulk prepass
+    frontier_decided: int = 0  # of which the incomplete bulk passes decided
 
     @property
     def solver_calls(self) -> int:
@@ -63,13 +89,21 @@ class RunnerStats:
         self.verify_calls += other.verify_calls
         self.extract_calls += other.extract_calls
         self.probe_evals += other.probe_evals
+        self.frontier_queries += other.frontier_queries
+        self.frontier_decided += other.frontier_decided
 
     def describe(self) -> str:
-        return (
+        text = (
             f"runner: {self.verify_calls} verifier calls, "
             f"{self.extract_calls} extractions, {self.probe_evals} probe evals "
             f"over {self.tasks} tasks"
         )
+        if self.frontier_queries:
+            text += (
+                f"; frontier prepass decided {self.frontier_decided}"
+                f"/{self.frontier_queries} queries"
+            )
+        return text
 
 
 class QueryRunner:
@@ -93,6 +127,7 @@ class QueryRunner:
             cache = cache_cls(enabled=self.runtime.cache)
         self.cache = cache
         self.cache.bind(runtime_context(network, self.config))
+        self.engine_stats = EngineStats()
         self.store = store
         if self.store is None and self.runtime.persistence_enabled:
             self.store = CacheStore(self.runtime.cache_dir)
@@ -100,11 +135,33 @@ class QueryRunner:
             warm = self.store.load(self.cache.context)
             if warm:
                 self.cache.preload(warm)
+            if self.store.loaded_stats:
+                self.engine_stats.merge_payload(self.store.loaded_stats)
         self.stats = RunnerStats()
         self._verifiers: dict[int, PortfolioVerifier] = {}
         self._pool: ProcessPoolExecutor | None = None
+        #: Keys whose incomplete stages a bulk prepass already exhausted:
+        #: a later exact query skips straight to the complete engine.
+        self._frontier_unknown: set = set()
+        #: (index, x, label, node, sign) -> (checked ceiling, min flip
+        #: magnitude or None): the bulk single-node probe ladders.
+        self._probe_thresholds: dict = {}
 
     # -- engine selection -------------------------------------------------------
+
+    @property
+    def frontier_enabled(self) -> bool:
+        """Whether bulk prepasses may run.
+
+        Requires the cache (prepass results are only useful memoised) and
+        the stock portfolio (an injected verifier's semantics are opaque,
+        so the prepass could not emulate its stages).
+        """
+        return (
+            self.runtime.frontier
+            and self.cache.enabled
+            and self._fixed_verifier is None
+        )
 
     def _verifier_for(self, index: int):
         """Per-input verifier with a seed derived from (base seed, index)."""
@@ -113,9 +170,17 @@ class QueryRunner:
         verifier = self._verifiers.get(index)
         if verifier is None:
             seeded = replace(self.config, seed=derive_seed(self.config.seed, index))
-            verifier = PortfolioVerifier(seeded)
+            verifier = PortfolioVerifier(seeded, engine_stats=self.engine_stats)
             self._verifiers[index] = verifier
         return verifier
+
+    def _build_query(self, x, true_label: int, percent: int):
+        return build_query(
+            self.network,
+            np.asarray(x, dtype=np.int64),
+            true_label,
+            NoiseConfig(max_percent=percent),
+        )
 
     # -- cached building blocks -----------------------------------------------------
 
@@ -128,13 +193,14 @@ class QueryRunner:
         cached = self.cache.get(key)
         if cached is not MISS:
             return cached
-        query = build_query(
-            self.network,
-            np.asarray(x, dtype=np.int64),
-            true_label,
-            NoiseConfig(max_percent=percent),
-        )
-        result = self._verifier_for(index).verify(query)
+        query = self._build_query(x, true_label, percent)
+        if key in self._frontier_unknown:
+            # The bulk prepass already ran (and failed) every incomplete
+            # stage for this query: go straight to the complete engine.
+            self._frontier_unknown.discard(key)
+            result = self._verifier_for(index).verify_complete(query)
+        else:
+            result = self._verifier_for(index).verify(query)
         self.stats.verify_calls += 1
         self.cache.put(key, result)
         return result
@@ -163,12 +229,7 @@ class QueryRunner:
             outcome = {"vectors": [], "flipped_to": [], "exhausted": True}
             self.cache.put(key, outcome)
             return outcome
-        query = build_query(
-            self.network,
-            np.asarray(x, dtype=np.int64),
-            true_label,
-            NoiseConfig(max_percent=percent),
-        )
+        query = self._build_query(x, true_label, percent)
         effective_limit = limit
         if query.noise_space_size() > exhaustive_cutoff and effective_limit is None:
             effective_limit = 1000  # solver-driven extraction needs a bound
@@ -199,16 +260,229 @@ class QueryRunner:
         cached = self.cache.get(key)
         if cached is not MISS:
             return cached
-        flips = False
-        vector = [0] * len(x)
-        for magnitude in range(1, percent + 1):
-            vector[node] = sign * magnitude
-            if self.network.predict_noisy(x, vector) != true_label:
-                flips = True
-                break
+        if self.frontier_enabled:
+            threshold = self._probe_threshold(index, x, true_label, node, sign, percent)
+            flips = threshold is not None and threshold <= percent
+        else:
+            flips = False
+            vector = [0] * len(x)
+            for magnitude in range(1, percent + 1):
+                vector[node] = sign * magnitude
+                if self.network.predict_noisy(x, vector) != true_label:
+                    flips = True
+                    break
         self.stats.probe_evals += 1
         self.cache.put(key, flips)
         return flips
+
+    # -- frontier batching -------------------------------------------------------------
+
+    def prepass_ladder(self, x, true_label: int, percents, index: int = -1) -> None:
+        """Bulk-resolve a whole verify ladder's cheap mass ahead of a search.
+
+        Submits every ``±percent`` of ``percents`` whose answer is not
+        already cached (or implied, or known-undecidable) to the frontier
+        prepass.  Decided verdicts are memoised exactly as the per-query
+        path would have; survivors are remembered so the search's own
+        probes skip straight to the complete engine.  A no-op when the
+        frontier is disabled — the search then probes one query at a time.
+        """
+        if not self.frontier_enabled:
+            return
+        x = tuple(int(v) for v in x)
+        probes = []
+        for percent in percents:
+            key = make_key("verify", index, x, true_label, int(percent))
+            if key in self._frontier_unknown:
+                continue
+            if self.cache.peek(key) is not MISS:
+                continue
+            probes.append((key, index, x, true_label, int(percent)))
+        if not probes:
+            return
+        outcome = self._prepass(probes)
+        self._frontier_unknown.update(probe.key for probe in outcome.unknown)
+
+    def verify_frontier(self, probes, complete: bool = True) -> dict:
+        """Resolve many ``(index, x, true_label, percent)`` probes in bulk.
+
+        The grid entry point (Fig.-4 sweeps, extraction prepasses).
+        Returns ``{cache key: VerificationResult}`` covering every probe:
+        cache answers, bulk-prepass verdicts, in-frontier implications,
+        and — with ``complete=True`` — complete-engine verdicts for the
+        boundary band, dispatched along a monotone bisection per input
+        so a band of width ``w`` costs ``O(log w)`` complete calls.
+        With ``complete=False`` survivors are only marked for lazy
+        complete dispatch (the extraction prepass never needs them).
+        """
+        results: dict = {}
+        if not self.frontier_enabled:
+            # Per-query fallback: verify_at does its own (single, counted)
+            # cache lookup per probe, exactly as a scalar sweep loop would.
+            if complete:
+                for index, x, true_label, percent in probes:
+                    x = tuple(int(v) for v in x)
+                    key = make_key("verify", index, x, true_label, int(percent))
+                    if key not in results:
+                        results[key] = self.verify_at(
+                            x, true_label, int(percent), index=index
+                        )
+            return results
+        pending = []
+        for index, x, true_label, percent in probes:
+            x = tuple(int(v) for v in x)
+            key = make_key("verify", index, x, true_label, int(percent))
+            if key in results:
+                continue
+            cached = self.cache.get(key)
+            if cached is not MISS:
+                results[key] = cached
+                continue
+            pending.append((key, index, x, true_label, int(percent)))
+        if not pending:
+            return results
+        fresh = [p for p in pending if p[0] not in self._frontier_unknown]
+        known_unknown = [p for p in pending if p[0] in self._frontier_unknown]
+        outcome = self._prepass(fresh)
+        for key, result in outcome.decided.items():
+            results[key] = result
+        results.update(outcome.derived)
+        survivors = outcome.unknown + [
+            self._frontier_probe(*p) for p in known_unknown
+        ]
+        if complete:
+            exact, derived = resolve_survivors(survivors, self._complete_probe)
+            results.update(exact)
+            results.update(derived)
+        else:
+            self._frontier_unknown.update(probe.key for probe in survivors)
+        return results
+
+    def _frontier_probe(self, key, index, x, true_label, percent) -> FrontierProbe:
+        return FrontierProbe(
+            key=key,
+            query=self._build_query(x, true_label, percent),
+            percent=percent,
+            group=(index, x, true_label),
+            seed=derive_seed(self.config.seed, index),
+        )
+
+    def _frontier_probes(self, probes) -> list[FrontierProbe]:
+        """Build probe objects with one encoder run per input, not per rung.
+
+        All rungs of one input share the network encoding — only the
+        noise box differs — so the (pure-Python, Fraction-scaling)
+        :func:`~repro.verify.build_query` runs once at the ladder's top
+        percent and the smaller rungs reuse its weights.  The top box
+        dominates the magnitude analysis, so its dtype choice is safe
+        for every nested box.
+        """
+        by_input: dict = {}
+        for probe in probes:
+            by_input.setdefault(probe[1:4], []).append(probe)
+        frontier = []
+        for (index, x, true_label), group in by_input.items():
+            seed = derive_seed(self.config.seed, index)
+            top = max(percent for _, _, _, _, percent in group)
+            base = self._build_query(x, true_label, top)
+            for key, _, _, _, percent in group:
+                if percent == top:
+                    query = base
+                else:
+                    query = replace(
+                        base,
+                        low=np.full(base.num_inputs, -percent, dtype=np.int64),
+                        high=np.full(base.num_inputs, percent, dtype=np.int64),
+                    )
+                frontier.append(
+                    FrontierProbe(
+                        key=key,
+                        query=query,
+                        percent=percent,
+                        group=(index, x, true_label),
+                        seed=seed,
+                    )
+                )
+        return frontier
+
+    def _prepass(self, probes):
+        """Run the bulk incomplete stages; memoise every decided verdict."""
+        frontier = self._frontier_probes(probes)
+        prepass = FrontierPrepass(
+            batch_size=self.runtime.batch_size, engine_stats=self.engine_stats
+        )
+        outcome = prepass.resolve(frontier)
+        for key, result in outcome.decided.items():
+            self.cache.put(key, result)
+        self.stats.verify_calls += len(outcome.decided)
+        self.stats.frontier_queries += len(frontier)
+        self.stats.frontier_decided += len(outcome.decided)
+        return outcome
+
+    def _complete_probe(self, probe: FrontierProbe) -> VerificationResult:
+        """Complete-engine dispatch for one frontier survivor (memoised)."""
+        index = probe.group[0]
+        result = self._verifier_for(index).verify_complete(probe.query)
+        self.stats.verify_calls += 1
+        self.cache.put(probe.key, result)
+        self._frontier_unknown.discard(probe.key)
+        return result
+
+    def probe_ladder(self, inputs, node: int, sign: int, ceiling: int) -> None:
+        """Bulk-evaluate the single-node flip ladders of many inputs at once.
+
+        One concatenated exact network evaluation covers every magnitude
+        ``1..ceiling`` of every input, seeding the threshold memo the
+        Eq.-3 probes read — the probe bisections then never evaluate the
+        network again.  A no-op when the frontier is disabled.
+        """
+        if not self.frontier_enabled:
+            return
+        todo = []
+        for index, x, true_label in inputs:
+            x = tuple(int(v) for v in x)
+            group = (index, x, true_label, node, sign)
+            memo = self._probe_thresholds.get(group)
+            if memo is not None and (memo[1] is not None or memo[0] >= ceiling):
+                continue
+            todo.append((group, x, true_label))
+        if not todo:
+            return
+        blocks = []
+        for group, x, true_label in todo:
+            query = self._build_query(x, true_label, ceiling)
+            block = np.zeros((ceiling, len(x)), dtype=np.int64)
+            block[:, node] = sign * np.arange(1, ceiling + 1, dtype=np.int64)
+            blocks.append((query, block))
+        labels = labels_for_rows(blocks, self.runtime.batch_size)
+        for (group, x, true_label), row_labels in zip(todo, labels):
+            flips = np.nonzero(row_labels != true_label)[0]
+            threshold = int(flips[0]) + 1 if flips.size else None
+            self._probe_thresholds[group] = (ceiling, threshold)
+
+    def _probe_threshold(
+        self, index: int, x, true_label: int, node: int, sign: int, percent: int
+    ) -> int | None:
+        """Minimal flipping magnitude ≤ ``percent`` from the ladder memo.
+
+        Extends the memo with one vectorised evaluation when the asked
+        percent exceeds what has been checked so far.
+        """
+        group = (index, x, true_label, node, sign)
+        memo = self._probe_thresholds.get(group)
+        if memo is not None:
+            checked, threshold = memo
+            if threshold is not None or checked >= percent:
+                return threshold
+        checked = memo[0] if memo is not None else 0
+        query = self._build_query(x, true_label, percent)
+        magnitudes = np.arange(checked + 1, percent + 1, dtype=np.int64)
+        block = np.zeros((magnitudes.shape[0], len(x)), dtype=np.int64)
+        block[:, node] = sign * magnitudes
+        flips = np.nonzero(query.labels_for_batch(block) != true_label)[0]
+        threshold = int(magnitudes[flips[0]]) if flips.size else None
+        self._probe_thresholds[group] = (percent, threshold)
+        return threshold
 
     # -- fan-out ----------------------------------------------------------------------
 
@@ -239,6 +513,7 @@ class QueryRunner:
                     self.cache.put(key, value)
             self.stats.merge(outcome.stats)
             self.cache.stats.merge(outcome.cache_stats)
+            self.engine_stats.merge_payload(outcome.engine_stats)
             values.append(outcome.value)
         return values
 
@@ -264,6 +539,9 @@ class QueryRunner:
                 config=self.config,
                 verifier=self._fixed_verifier,
                 monotone=self.runtime.monotone,
+                frontier=self.runtime.frontier,
+                batch_size=self.runtime.batch_size,
+                engine_stats=self.engine_stats.snapshot(),
             )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.runtime.workers,
@@ -280,13 +558,19 @@ class QueryRunner:
         Only called with entries actually added since the warm-start
         load (or the previous flush): a pure warm replay rewrites
         nothing, so concurrent readers of the same cache directory are
-        not churned for zero information.
+        not churned for zero information.  The engine-stats table rides
+        in the same write.
         """
         if self.store is None or not self.cache.enabled:
             return
         if not self.cache.added:
             return
-        if self.store.save(self.cache.context, self.cache.snapshot()) is not None:
+        saved = self.store.save(
+            self.cache.context,
+            self.cache.snapshot(),
+            engine_stats=self.engine_stats.snapshot(),
+        )
+        if saved is not None:
             self.cache.added.clear()
 
     def close(self) -> None:
@@ -321,6 +605,9 @@ class _WorkerContext:
     config: VerifierConfig
     verifier: object = None
     monotone: bool = True
+    frontier: bool = True
+    batch_size: int = 4096
+    engine_stats: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -331,6 +618,7 @@ class _TaskOutcome:
     entries: dict
     stats: RunnerStats
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    engine_stats: dict = field(default_factory=dict)
 
 
 _WORKER_CONTEXT: _WorkerContext | None = None
@@ -348,9 +636,19 @@ def _run_task(task) -> _TaskOutcome:
     runner = QueryRunner(
         context.network,
         context.config,
-        RuntimeConfig(workers=1, cache=True, monotone=context.monotone),
+        RuntimeConfig(
+            workers=1,
+            cache=True,
+            monotone=context.monotone,
+            frontier=context.frontier,
+            batch_size=context.batch_size,
+        ),
         verifier=context.verifier,
     )
+    # Scheduling prior: the parent's stage statistics at pool start.
+    # Only the delta ships back, so nothing is double-counted on merge.
+    runner.engine_stats.merge_payload(context.engine_stats)
+    baseline = runner.engine_stats.snapshot()
     runner.cache.preload(task.warm)
     value = task.run(runner)
     return _TaskOutcome(
@@ -358,4 +656,5 @@ def _run_task(task) -> _TaskOutcome:
         entries=dict(runner.cache.added),
         stats=runner.stats,
         cache_stats=runner.cache.stats,
+        engine_stats=runner.engine_stats.delta_since(baseline),
     )

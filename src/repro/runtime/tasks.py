@@ -26,7 +26,15 @@ WarmEntries = dict
 
 @dataclass
 class ToleranceSearchTask:
-    """P2 for one input: smallest ±P admitting a counterexample."""
+    """P2 for one input: smallest ±P admitting a counterexample.
+
+    With the frontier plane enabled, the whole probe ladder ``1..ceiling``
+    — every rung either search schedule could visit, binary-search rungs
+    included — is submitted speculatively to the bulk prepass first: the
+    vectorised incomplete passes and the monotone implication closure
+    resolve most rungs, and the search's own probes then only reach a
+    complete engine inside the thin boundary band.
+    """
 
     index: int
     x: tuple
@@ -37,14 +45,17 @@ class ToleranceSearchTask:
     warm_kinds = ("verify",)
 
     def run(self, runner) -> dict[str, Any]:
+        if self.schedule not in ("binary", "paper"):
+            raise ConfigError("schedule must be 'binary' or 'paper'")
+        runner.prepass_ladder(
+            self.x, self.true_label, range(1, self.ceiling + 1), index=self.index
+        )
         verify = lambda percent: runner.verify_at(  # noqa: E731
             self.x, self.true_label, percent, index=self.index
         )
         if self.schedule == "binary":
             return _search_binary(verify, self.ceiling)
-        if self.schedule == "paper":
-            return _search_paper(verify, self.ceiling)
-        raise ConfigError("schedule must be 'binary' or 'paper'")
+        return _search_paper(verify, self.ceiling)
 
 
 @dataclass
@@ -75,7 +86,13 @@ class ExtractionTask:
 @dataclass
 class ProbeTask:
     """Eq.-3 probe: minimal single-node noise (one node, one sign) that
-    flips *any* of the given correctly-classified inputs."""
+    flips *any* of the given correctly-classified inputs.
+
+    With the frontier plane enabled, the task submits its whole ladder —
+    every input × every magnitude up to the ceiling — as one bulk exact
+    network evaluation before bisecting; the bisections then read the
+    memoised flip thresholds and never evaluate the network again.
+    """
 
     node: int
     sign: int
@@ -85,6 +102,8 @@ class ProbeTask:
     warm_kinds = ("probe",)
 
     def run(self, runner) -> int | None:
+        if getattr(runner, "frontier_enabled", False):
+            runner.probe_ladder(self.inputs, self.node, self.sign, self.ceiling)
         best: int | None = None
         for index, x, true_label in self.inputs:
             low = 1

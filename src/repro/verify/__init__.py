@@ -18,8 +18,15 @@ Engines, ordered by the guarantees they offer:
 - :class:`MilpVerifier` — complete in practice: big-M MILP with scipy
   (HiGHS) LP relaxations, float-tolerant pruning, and exact recheck of
   every candidate model.
-- :class:`PortfolioVerifier` — interval ⇒ falsifiers ⇒ complete engine;
-  the default used by the FANNet pipeline.
+- :class:`PortfolioVerifier` — interval ⇒ falsifiers ⇒ complete engine,
+  with the incomplete-stage order chosen per workload from an
+  :class:`EngineStats` decide-rate/wall-time table; the default used by
+  the FANNet pipeline.
+- :class:`FrontierPrepass` / :func:`resolve_survivors`
+  (:mod:`repro.verify.batch`) — the frontier-batched plane: many queries
+  (same network, many inputs × many percents) resolved in bulk by
+  vectorised incomplete passes, with only the boundary band dispatched
+  to the complete engines along a monotone bisection.
 
 All engines consume the same :class:`ScaledQuery` built by
 :func:`build_query`, whose arithmetic is integer-exact by construction.
@@ -27,12 +34,20 @@ All engines consume the same :class:`ScaledQuery` built by
 
 from .encoder import ScaledQuery, build_query
 from .result import VerificationResult, VerificationStatus
-from .interval import IntervalVerifier
+from .interval import IntervalVerifier, interval_bulk
 from .exhaustive import ExhaustiveEnumerator
 from .falsify import CornerFalsifier, RandomFalsifier
 from .smt_verifier import SmtVerifier
 from .milp_verifier import MilpVerifier
+from .stats import EngineStats, StageStat
 from .portfolio import PortfolioVerifier
+from .batch import (
+    FrontierOutcome,
+    FrontierPrepass,
+    FrontierProbe,
+    labels_for_rows,
+    resolve_survivors,
+)
 from .enumerate import NoiseVectorCollector
 
 __all__ = [
@@ -41,11 +56,19 @@ __all__ = [
     "VerificationResult",
     "VerificationStatus",
     "IntervalVerifier",
+    "interval_bulk",
     "ExhaustiveEnumerator",
     "RandomFalsifier",
     "CornerFalsifier",
     "SmtVerifier",
     "MilpVerifier",
+    "EngineStats",
+    "StageStat",
     "PortfolioVerifier",
+    "FrontierPrepass",
+    "FrontierProbe",
+    "FrontierOutcome",
+    "labels_for_rows",
+    "resolve_survivors",
     "NoiseVectorCollector",
 ]

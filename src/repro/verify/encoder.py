@@ -29,6 +29,22 @@ from ..nn.quantize import QuantizedNetwork
 _INT64_SAFE = 2**62
 
 
+def forward_scaled(values, weights, biases) -> np.ndarray:
+    """Push pre-scaled input rows ``x·(100+p)`` through the network.
+
+    The one definition of the scaled forward semantics (affine layers,
+    ReLU on all but the last, already-cast integer arrays) shared by
+    :meth:`ScaledQuery.forward_batch` and the frontier plane's
+    concatenated evaluations (:func:`repro.verify.batch.labels_for_rows`)
+    — keeping the bulk path equal to the per-query path by construction.
+    """
+    for index, (weight, bias) in enumerate(zip(weights, biases)):
+        values = values @ weight.T + bias
+        if index < len(weights) - 1:
+            values = np.maximum(values, 0)
+    return values
+
+
 @dataclass
 class ScaledQuery:
     """One robustness query in scaled-integer form.
@@ -79,11 +95,11 @@ class ScaledQuery:
             )
         dtype = object if self.exact_dtype else np.int64
         values = (self.x.astype(dtype) * (100 + noise.astype(dtype)))
-        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
-            values = values @ weight.astype(dtype).T + bias.astype(dtype)
-            if index < self.num_layers - 1:
-                values = np.maximum(values, 0)
-        return values
+        return forward_scaled(
+            values,
+            [w.astype(dtype) for w in self.weights],
+            [b.astype(dtype) for b in self.biases],
+        )
 
     def labels_for_batch(self, noise: np.ndarray) -> np.ndarray:
         """Predicted labels per noise row (argmax, ties to lower index)."""
@@ -220,16 +236,45 @@ def build_query(
         exact_dtype=True,
     )
     # Magnitude analysis: drop to fast int64 when provably safe.
-    bounds = query.layer_bounds()
-    magnitude = max(
-        (max(abs(v) for v in lows + highs) for lows, highs in bounds),
-        default=0,
-    )
-    if magnitude < _INT64_SAFE:
+    if _int64_partial_sums_safe(weights, biases, x, low, high):
         query.weights = [w.astype(np.int64) for w in weights]
         query.biases = [b.astype(np.int64) for b in biases]
         query.exact_dtype = False
     return query
+
+
+def _int64_partial_sums_safe(weights, biases, x, low, high) -> bool:
+    """Whether *every* int64 computation on this query is overflow-free.
+
+    The bound must cover more than the reachable activation values: the
+    vectorised engines split each affine form into sign-separated matmul
+    halves (``W⁺ @ act_low + W⁻ @ act_high`` in the interval pass) and
+    accumulate dot products term by term, and those partial sums are not
+    bounded by the cancellation-aware interval totals.  The triangle
+    inequality is: propagate ``m ← max_row Σ_j |w_ij| · m + max_i |b_i|``
+    from ``m = max_i |x_i| · max(|100+lo_i|, |100+hi_i|)``, which
+    dominates every partial sum, every matmul half and every
+    difference-of-logits bound any engine forms.  Arithmetic here is
+    pure Python ints, so the check itself cannot wrap.
+    """
+    magnitude = max(
+        (
+            abs(int(xi)) * max(abs(100 + int(lo)), abs(100 + int(hi)))
+            for xi, lo, hi in zip(x, low, high)
+        ),
+        default=0,
+    )
+    if magnitude >= _INT64_SAFE:
+        return False
+    for weight, bias in zip(weights, biases):
+        row_mass = max(
+            (sum(abs(int(v)) for v in row) for row in weight), default=0
+        )
+        bias_mass = max((abs(int(v)) for v in bias), default=0)
+        magnitude = row_mass * magnitude + bias_mass
+        if magnitude >= _INT64_SAFE:
+            return False
+    return True
 
 
 def _as_scaled_int(value: Fraction, scale: int) -> int:

@@ -10,6 +10,7 @@ moderate noise ranges.
 
 from __future__ import annotations
 
+import math
 from typing import Iterator
 
 import numpy as np
@@ -37,7 +38,9 @@ class ExhaustiveEnumerator:
             for lo, hi in zip(query.low, query.high)
         ]
         sizes = [s.shape[0] for s in spans]
-        total = int(np.prod([np.int64(s) for s in sizes]))
+        # math.prod over Python ints: np.prod wraps silently at 64 bits,
+        # which let astronomically large boxes slip past the budget check.
+        total = math.prod(int(s) for s in sizes)
         if total > self.max_vectors:
             raise BudgetExceededError(
                 f"noise space has {total} vectors, budget is {self.max_vectors}",

@@ -4,9 +4,21 @@ The schedule mirrors how the paper's workflow spends effort: most
 (input, noise-range) queries are either clearly robust (interval proof in
 microseconds) or clearly vulnerable (a falsifier finds a witness), and
 only the thin boundary band needs the complete solver.
+
+Stage *order* is no longer hard-coded: an :class:`~repro.verify.stats.EngineStats`
+table (shared with the runner, persisted in the cache store) records each
+stage's decide rate and wall time, and the scheduler reorders the
+incomplete stages to minimise expected time on the observed workload.
+Reordering is verdict- and witness-preserving: the incomplete stages can
+only fail towards UNKNOWN, and the corner falsifier always runs before
+the random one, so the returned result is bit-identical to the canonical
+interval → corner → random → complete order — statistics may only change
+*which* engine answers first among agreeing engines.
 """
 
 from __future__ import annotations
+
+import time
 
 from ..config import VerifierConfig
 from .encoder import ScaledQuery
@@ -15,10 +27,11 @@ from .falsify import CornerFalsifier, RandomFalsifier
 from .interval import IntervalVerifier
 from .result import VerificationResult, VerificationStatus
 from .smt_verifier import SmtVerifier
+from .stats import EngineStats
 
 
 class PortfolioVerifier:
-    """interval ⇒ corner/random falsifiers ⇒ exhaustive-or-SMT."""
+    """interval / corner / random (stats-ordered) ⇒ exhaustive-or-SMT."""
 
     name = "portfolio"
 
@@ -26,6 +39,7 @@ class PortfolioVerifier:
         self,
         config: VerifierConfig | None = None,
         exhaustive_cutoff: int = 200_000,
+        engine_stats: EngineStats | None = None,
     ):
         self.config = config or VerifierConfig()
         self.exhaustive_cutoff = exhaustive_cutoff
@@ -34,30 +48,49 @@ class PortfolioVerifier:
         self.random = RandomFalsifier(seed=self.config.seed)
         self.exhaustive = ExhaustiveEnumerator()
         self.smt = SmtVerifier(self.config)
+        self.engine_stats = engine_stats if engine_stats is not None else EngineStats()
         self.stage_counts: dict[str, int] = {}
+        self._incomplete = {
+            "interval": self.interval,
+            "corner": self.corner,
+            "random": self.random,
+        }
 
     def verify(self, query: ScaledQuery) -> VerificationResult:
         """Complete verdict; ``stats['stage']`` records the deciding engine."""
-        result = self.interval.verify(query)
-        if result.is_robust:
-            return self._record(result, "interval")
+        for stage in self.engine_stats.incomplete_order():
+            start = time.perf_counter()
+            result = self._incomplete[stage].verify(query)
+            wall = time.perf_counter() - start
+            decided = result.status is not VerificationStatus.UNKNOWN
+            self.engine_stats.record(stage, decided, wall)
+            if decided:
+                return self._record(result, stage, wall)
+        return self.verify_complete(query)
 
-        result = self.corner.verify(query)
-        if result.is_vulnerable:
-            return self._record(result, "corner")
+    def verify_complete(self, query: ScaledQuery) -> VerificationResult:
+        """The complete stage alone: enumeration when the box is small (it
+        is usually faster than phase splitting there), SMT otherwise.
 
-        result = self.random.verify(query)
-        if result.is_vulnerable:
-            return self._record(result, "random")
-
-        # Complete stage: enumeration when the box is small (it is usually
-        # faster than phase splitting there), SMT otherwise.
+        Also the entry point for queries whose incomplete stages already
+        ran inside a frontier prepass (:mod:`repro.verify.batch`)."""
         if query.noise_space_size() <= self.exhaustive_cutoff:
-            return self._record(self.exhaustive.verify(query), "exhaustive")
-        return self._record(self.smt.verify(query), "smt")
+            stage, engine = "exhaustive", self.exhaustive
+        else:
+            stage, engine = "smt", self.smt
+        start = time.perf_counter()
+        result = engine.verify(query)
+        wall = time.perf_counter() - start
+        self.engine_stats.record(
+            stage, result.status is not VerificationStatus.UNKNOWN, wall
+        )
+        return self._record(result, stage, wall)
 
-    def _record(self, result: VerificationResult, stage: str) -> VerificationResult:
+    def _record(
+        self, result: VerificationResult, stage: str, wall: float
+    ) -> VerificationResult:
         self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
         result.stats["stage"] = stage
         result.stats["portfolio"] = True
+        result.stats["wall_s"] = wall
         return result
