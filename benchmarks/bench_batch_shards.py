@@ -1,0 +1,93 @@
+"""E10 — batch service: shard-invariant merges, balanced partitions.
+
+Hardware-independent claims, asserted (timings printed for context):
+
+1. **Shard invariance** — a two-job campaign run as one shard, as two
+   shards and as three shards merges to byte-identical aggregate
+   reports (the scale-out contract: a shard is just a CLI invocation,
+   so any machine assignment reproduces the single-process run).
+2. **Partition sanity** — the SHA-256 identity hash spreads a realistic
+   task list over shards with no empty shard and every task owned
+   exactly once.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import save_record
+from repro.service import (
+    BatchService,
+    BatchSpec,
+    DatasetSpec,
+    ExtractionSpec,
+    JobSpec,
+    NetworkSpec,
+    ProbeSpec,
+    ToleranceSpec,
+)
+
+#: A real cross-network campaign: same slice, two training seeds.
+SPEC = BatchSpec(
+    name="bench-shards",
+    jobs=(
+        JobSpec(
+            name="seed7",
+            network=NetworkSpec(train_seed=7),
+            dataset=DatasetSpec(indices=(0, 7, 10, 18)),
+            tolerance=ToleranceSpec(ceiling=20),
+            extraction=ExtractionSpec(percent=9, limit=5),
+            probe=ProbeSpec(ceiling=12),
+        ),
+        JobSpec(
+            name="seed11",
+            network=NetworkSpec(train_seed=11),
+            dataset=DatasetSpec(indices=(0, 7, 10, 18)),
+            tolerance=ToleranceSpec(ceiling=20),
+            extraction=ExtractionSpec(percent=9, limit=5),
+        ),
+    ),
+)
+
+
+def _merged_bytes(tmp_path, shard_count: int) -> tuple[bytes, float]:
+    out = tmp_path / f"shards-{shard_count}"
+    service = BatchService(SPEC)
+    start = time.perf_counter()
+    for index in range(shard_count):
+        service.run_shard(index, shard_count, out)
+    record = service.merge(out)
+    elapsed = time.perf_counter() - start
+    target = out / "merged.json"
+    save_record(record, target)
+    return target.read_bytes(), elapsed
+
+
+def test_sharded_merges_are_bit_identical(benchmark, tmp_path):
+    baseline, base_time = _merged_bytes(tmp_path, 1)
+
+    def sharded():
+        return _merged_bytes(tmp_path, 2)
+
+    two_shards, _ = benchmark.pedantic(sharded, rounds=1, iterations=1)
+    three_shards, three_time = _merged_bytes(tmp_path, 3)
+    assert two_shards == baseline
+    assert three_shards == baseline
+    print(
+        f"\nmerged report: {len(baseline)} bytes; unsharded {base_time:.2f}s, "
+        f"three-shard total {three_time:.2f}s — bit-identical for every layout"
+    )
+
+
+def test_partition_is_total_and_balanced(tmp_path):
+    service = BatchService(SPEC)
+    jobs = service.plan()
+    total = sum(len(job.tasks) for job in jobs)
+    for count in (2, 3, 4):
+        sizes = [
+            sum(len(job.shard_tasks(index, count)) for job in jobs)
+            for index in range(count)
+        ]
+        assert sum(sizes) == total  # every task owned exactly once
+        assert all(sizes), f"empty shard in {sizes} for {count} shards"
+        print(f"{total} tasks over {count} shards: {sizes}")

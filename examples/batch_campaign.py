@@ -1,0 +1,54 @@
+"""Multi-network batch campaign: shard, execute, merge, compare.
+
+Runs the manifest next to this file (two training seeds over the same
+test-set slice) the way a two-machine deployment would — two independent
+shard invocations — then merges the shard outputs into one aggregate
+report and prints the cross-network comparison tables.
+
+Run:  python examples/batch_campaign.py
+
+The same campaign from the CLI:
+
+    fannet batch run examples/batch_manifest.json --out .batch --shard 1/2
+    fannet batch run examples/batch_manifest.json --out .batch --shard 2/2
+    fannet batch merge examples/batch_manifest.json .batch
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import comparison_tables, save_record
+from repro.service import BatchService
+
+MANIFEST = Path(__file__).with_name("batch_manifest.json")
+
+
+def main() -> None:
+    service = BatchService.from_manifest(MANIFEST)
+    jobs = service.plan()
+    total = sum(len(job.tasks) for job in jobs)
+    print(f"batch '{service.spec.name}': {len(jobs)} jobs, {total} tasks")
+    for job in jobs:
+        counts = [len(job.shard_tasks(index, 2)) for index in range(2)]
+        print(f"  {job.name}: {len(job.tasks)} tasks -> shards {counts}")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        out = Path(scratch)
+        # Each shard is an independent process in real deployments; the
+        # partition is a pure function of task identity, so the two
+        # invocations coordinate through nothing but the manifest.
+        for index in range(2):
+            written = service.run_shard(index, 2, out)
+            print(f"shard {index + 1}/2 wrote {len(written)} job file(s)")
+
+        record = service.merge(out)
+        save_record(record, out / "merged.json")
+        print(f"\nmerged: {record.experiment_id}")
+        print()
+        print(comparison_tables(record.measured["comparison"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ EXPERIMENTS.md numbers are regenerable.
 
 from .tables import format_table
 from .charts import horizontal_bar_chart
+from .compare import bias_delta_table, comparison_tables, min_tolerance_table
 from .records import ExperimentRecord, load_record, save_record
 from .figures import (
     fig3_state_space_series,
@@ -19,6 +20,9 @@ from .figures import (
 __all__ = [
     "format_table",
     "horizontal_bar_chart",
+    "bias_delta_table",
+    "comparison_tables",
+    "min_tolerance_table",
     "ExperimentRecord",
     "save_record",
     "load_record",

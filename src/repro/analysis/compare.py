@@ -1,0 +1,76 @@
+"""Cross-network comparison tables for merged batch reports.
+
+Renders the ``comparison`` series a merged batch
+:class:`~repro.analysis.records.ExperimentRecord` carries (see
+:meth:`repro.service.BatchService.merge`) as the plain-text tables the
+``fannet batch merge`` CLI prints: one row per job, so tolerance
+profiles and training-bias evidence line up across networks the way the
+related cross-model studies (Duddu et al., Jonasson et al.) present
+theirs.
+"""
+
+from __future__ import annotations
+
+from .tables import format_table
+
+
+def min_tolerance_table(comparison: dict) -> str:
+    """Per-job noise-tolerance distribution table.
+
+    ``tolerance`` is the network-wide guarantee (largest ±Δx with no
+    counterexample for any input); min/median/max summarise the
+    distribution of per-input minimal flip percentages.
+    """
+    rows = [
+        (
+            entry["job"],
+            f"±{entry['tolerance']}%",
+            entry["min_flip_min"],
+            entry["min_flip_median"],
+            entry["min_flip_max"],
+            f"{entry['robust_at_ceiling']}/{entry['inputs']}",
+        )
+        for entry in comparison.get("min_tolerance", [])
+    ]
+    if not rows:
+        return "min-tolerance comparison: no tolerance analyses in this batch"
+    return format_table(
+        ("job", "tolerance", "min", "median", "max", "robust@ceiling"),
+        rows,
+        title="min-tolerance distribution per network:",
+    )
+
+
+def bias_delta_table(comparison: dict) -> str:
+    """Per-job training-bias table: flip share vs training majority share.
+
+    ``delta`` > 0 means noise-induced flips land on the training
+    majority class more often than its dataset share alone predicts —
+    the paper's training-bias signature, comparable across networks.
+    """
+    rows = [
+        (
+            entry["job"],
+            f"±{entry['percent']}%",
+            entry["vectors"],
+            entry["training_majority_share"],
+            entry["majority_flip_share"],
+            entry["delta"],
+            "yes" if entry["confirmed"] else "no",
+        )
+        for entry in comparison.get("bias_delta", [])
+    ]
+    if not rows:
+        return "bias-delta comparison: no extraction analyses in this batch"
+    return format_table(
+        ("job", "range", "vectors", "train share", "flip share", "delta", "bias?"),
+        rows,
+        title="per-class bias delta per network:",
+    )
+
+
+def comparison_tables(comparison: dict) -> str:
+    """Both cross-network tables, ready to print."""
+    return "\n\n".join(
+        (min_tolerance_table(comparison), bias_delta_table(comparison))
+    )

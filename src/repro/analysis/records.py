@@ -33,7 +33,16 @@ class ExperimentRecord:
 
 
 def save_record(record: ExperimentRecord, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(asdict(record), indent=2, default=str))
+    """Write a record as JSON with a byte-stable layout.
+
+    ``sort_keys`` makes the serialisation independent of dict insertion
+    order, which is what lets the batch service promise bit-identical
+    merged reports for every shard layout (see
+    :meth:`repro.service.BatchService.merge`).
+    """
+    Path(path).write_text(
+        json.dumps(asdict(record), indent=2, sort_keys=True, default=str)
+    )
 
 
 def load_record(path: str | Path) -> ExperimentRecord:

@@ -8,6 +8,8 @@ Subcommands mirror the paper's workflow:
 - ``check``      — model-check an ``.smv`` file's INVARSPECs
 - ``statespace`` — Fig.-3 state/transition counts
 - ``tolerance``  — noise-tolerance search only
+- ``batch``      — multi-network campaigns: ``plan`` / ``run`` / ``merge``
+  a sharded batch manifest (see :mod:`repro.service`)
 """
 
 from __future__ import annotations
@@ -142,7 +144,67 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_runtime_flags(tolerance)
     tolerance.set_defaults(handler=_cmd_tolerance)
 
+    batch = sub.add_parser(
+        "batch",
+        help="multi-network batch campaigns (shardable; see the README)",
+    )
+    batch_sub = batch.add_subparsers()
+
+    batch_plan = batch_sub.add_parser(
+        "plan", help="show the task list and its shard assignment"
+    )
+    batch_plan.add_argument("manifest", type=Path, help="batch manifest (JSON/TOML)")
+    batch_plan.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="preview the task partition over N shards",
+    )
+    batch_plan.set_defaults(handler=_cmd_batch_plan)
+
+    batch_run = batch_sub.add_parser(
+        "run", help="execute one shard of the batch and write its result files"
+    )
+    batch_run.add_argument("manifest", type=Path, help="batch manifest (JSON/TOML)")
+    batch_run.add_argument(
+        "--out", type=Path, required=True, metavar="DIR",
+        help="directory for the per-job shard result files",
+    )
+    batch_run.add_argument(
+        "--shard", default="1/1", metavar="I/N",
+        help="this invocation's shard, 1-based (e.g. 2/4); default 1/1 "
+        "runs everything — identical results either way",
+    )
+    batch_run.set_defaults(handler=_cmd_batch_run)
+
+    batch_merge = batch_sub.add_parser(
+        "merge", help="fold shard result files into one aggregate report"
+    )
+    batch_merge.add_argument("manifest", type=Path, help="batch manifest (JSON/TOML)")
+    batch_merge.add_argument("out", type=Path, help="directory holding the shard files")
+    batch_merge.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="where to write the merged report (default: DIR/merged.json)",
+    )
+    batch_merge.set_defaults(handler=_cmd_batch_merge)
+
     return parser
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``"i/N"`` (1-based) → 0-based ``(index, count)``; loud on nonsense."""
+    from .errors import ConfigError
+
+    parts = text.split("/")
+    try:
+        index, count = (int(part) for part in parts)
+    except ValueError:
+        raise ConfigError(
+            f"--shard takes the form i/N (e.g. 2/4), got {text!r}"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigError(
+            f"--shard {text!r} is out of range: need 1 <= i <= N"
+        )
+    return index - 1, count
 
 
 def _print_store(runner) -> None:
@@ -300,6 +362,77 @@ def _cmd_tolerance(args) -> int:
             else f"robust to ±{args.ceiling}%"
         )
         print(f"  test[{entry.index}] (L{entry.true_label}): {flip}")
+    return 0
+
+
+def _cmd_batch_plan(args) -> int:
+    from .analysis import format_table
+    from .service import BatchService
+
+    service = BatchService.from_manifest(args.manifest)
+    shards = args.shards
+    rows = []
+    per_shard = [0] * shards
+    for job in service.plan():
+        counts = [len(job.shard_tasks(index, shards)) for index in range(shards)]
+        for index, count in enumerate(counts):
+            per_shard[index] += count
+        rows.append(
+            (
+                job.name,
+                job.meta["correctly_classified"],
+                len(job.tasks),
+                " ".join(str(c) for c in counts),
+            )
+        )
+    print(
+        format_table(
+            ("job", "inputs", "tasks", f"tasks per shard (1..{shards})"),
+            rows,
+            title=f"batch '{service.spec.name}': "
+            f"{sum(len(j.tasks) for j in service.plan())} task(s) over {shards} shard(s)",
+        )
+    )
+    print(
+        "\nshard totals: "
+        + ", ".join(f"{i + 1}/{shards}: {n}" for i, n in enumerate(per_shard))
+    )
+    return 0
+
+
+def _cmd_batch_run(args) -> int:
+    from .service import BatchService
+
+    shard_index, shard_count = _parse_shard(args.shard)
+    service = BatchService.from_manifest(args.manifest)
+    written = service.run_shard(shard_index, shard_count, args.out)
+    total = sum(
+        len(job.shard_tasks(shard_index, shard_count)) for job in service.plan()
+    )
+    print(
+        f"batch '{service.spec.name}' shard {shard_index + 1}/{shard_count}: "
+        f"{total} task(s) executed, {len(written)} job file(s) written to {args.out}"
+    )
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_batch_merge(args) -> int:
+    from .analysis import comparison_tables, save_record
+    from .service import BatchService
+
+    service = BatchService.from_manifest(args.manifest)
+    record = service.merge(args.out)
+    target = args.json if args.json is not None else args.out / "merged.json"
+    save_record(record, target)
+    jobs = record.measured["jobs"]
+    print(
+        f"batch '{service.spec.name}': merged {len(jobs)} job(s) "
+        f"into {target}"
+    )
+    print()
+    print(comparison_tables(record.measured["comparison"]))
     return 0
 
 

@@ -6,13 +6,44 @@ benchmarks self-documenting: each records the exact configuration it ran.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, field, asdict, fields
 
 from .errors import ConfigError
 
 
+class _FromMapping:
+    """Mixin: build a config dataclass from a manifest/JSON mapping.
+
+    Unknown keys raise :class:`ConfigError` naming the offender — a
+    typoed manifest option must fail loudly, not silently fall back to a
+    default.  Field validation itself stays in each ``__post_init__``.
+    """
+
+    @classmethod
+    def from_dict(cls, payload: dict | None):
+        if payload is None:
+            payload = {}
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"{cls.__name__} section must be a mapping, got {type(payload).__name__}"
+            )
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - allowed)
+        if unknown:
+            raise ConfigError(
+                f"unknown {cls.__name__} option(s): {', '.join(unknown)} "
+                f"(expected a subset of: {', '.join(sorted(allowed))})"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as err:
+            # e.g. a string where a number belongs: __post_init__ trips
+            # on the comparison, or the constructor on the call itself.
+            raise ConfigError(f"bad {cls.__name__} section: {err}") from None
+
+
 @dataclass(frozen=True)
-class TrainConfig:
+class TrainConfig(_FromMapping):
     """Training recipe.  Defaults mirror the paper (§V-A, footnote 1):
 
     MATLAB, learning rate 0.5 for the first 40 epochs then 0.2 for the
@@ -83,7 +114,7 @@ class NoiseConfig:
 
 
 @dataclass(frozen=True)
-class VerifierConfig:
+class VerifierConfig(_FromMapping):
     """Budgets and tolerances shared by the verification engines."""
 
     node_budget: int = 2_000_000
@@ -100,7 +131,7 @@ class VerifierConfig:
 
 
 @dataclass(frozen=True)
-class RuntimeConfig:
+class RuntimeConfig(_FromMapping):
     """Execution policy for the analysis runtime (:mod:`repro.runtime`).
 
     ``workers=1`` runs every query inline; higher counts fan per-input

@@ -30,6 +30,32 @@ class BiasReport:
     flip_matrix: dict[tuple[int, int], int] = field(default_factory=dict)
     noise_percent: int = 0
 
+    @classmethod
+    def from_census(
+        cls,
+        training_class_counts: dict[int, int],
+        flip_matrix: dict[tuple[int, int], int],
+        noise_percent: int = 0,
+    ) -> "BiasReport":
+        """The report implied by a dataset census and a flip census.
+
+        The single place the majority class is chosen (ties break to the
+        smallest label, deterministically) — both the in-process
+        :class:`TrainingBiasAnalysis` and the batch service's merge fold
+        build their reports here, so the paper's Eq.-4 criterion lives
+        exactly once.
+        """
+        majority = max(sorted(training_class_counts), key=training_class_counts.get)
+        return cls(
+            training_class_counts=dict(training_class_counts),
+            training_majority_label=majority,
+            training_majority_share=(
+                training_class_counts[majority] / sum(training_class_counts.values())
+            ),
+            flip_matrix=dict(flip_matrix),
+            noise_percent=noise_percent,
+        )
+
     @property
     def flips_toward_majority(self) -> int:
         return sum(
@@ -94,15 +120,12 @@ class TrainingBiasAnalysis:
         self.training_set = training_set
 
     def analyze(self, extraction: ExtractionReport) -> BiasReport:
-        counts = self.training_set.class_counts()
-        majority = max(counts, key=lambda label: counts[label])
-        report = BiasReport(
-            training_class_counts=counts,
-            training_majority_label=majority,
-            training_majority_share=counts[majority] / sum(counts.values()),
-            noise_percent=extraction.noise_percent,
-        )
+        flip_matrix: dict[tuple[int, int], int] = {}
         for _, true_label, _, wrong_label in extraction.all_vectors_with_labels():
             key = (true_label, wrong_label)
-            report.flip_matrix[key] = report.flip_matrix.get(key, 0) + 1
-        return report
+            flip_matrix[key] = flip_matrix.get(key, 0) + 1
+        return BiasReport.from_census(
+            self.training_set.class_counts(),
+            flip_matrix,
+            noise_percent=extraction.noise_percent,
+        )

@@ -92,10 +92,19 @@ class CacheStats:
         return (self.hits + self.derived_hits) / self.lookups if self.lookups else 0.0
 
     def merge(self, other: "CacheStats") -> None:
-        """Fold a worker's lookup counters into this one (bulk transfer)."""
+        """Fold a worker's counters into this one (bulk transfer).
+
+        Every counter folds — stores, preloads and invalidations
+        included — so a parallel run reports the same totals a serial
+        run of the same tasks would (the stats describe logical cache
+        activity, wherever it physically happened).
+        """
         self.hits += other.hits
         self.derived_hits += other.derived_hits
         self.misses += other.misses
+        self.stores += other.stores
+        self.preloads += other.preloads
+        self.invalidations += other.invalidations
 
     def describe(self) -> str:
         return (
@@ -218,6 +227,26 @@ class QueryCache:
         """Monotone hook; called for every entry that enters the cache."""
 
     # -- bulk transfer (parallel workers, disk store) ----------------------------------
+
+    def adopt(self, entries: dict[QueryKey, Any]) -> None:
+        """Fold entries a pooled worker shipped back (exact keys only).
+
+        Like :meth:`put` for each *new* key — indexed and journalled in
+        ``added`` so the next disk flush persists them — but without
+        counting ``stores``: the producing cache already counted each
+        store, and its :class:`CacheStats` merge carries that count
+        here, so counting the physical transfer again would double-book
+        every parallel store.  Keys already present are kept as-is.
+        """
+        if not self.enabled:
+            return
+        for key, value in entries.items():
+            if key in self._entries:
+                continue
+            self._entries[key] = value
+            self._by_input.setdefault((key[1], key[2]), {})[key] = value
+            self.added[key] = value
+            self._index_fact(key, value)
 
     def preload(self, entries: dict[QueryKey, Any]) -> None:
         """Seed entries without counting stores; resets the ``added`` journal."""

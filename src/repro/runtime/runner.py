@@ -137,6 +137,9 @@ class QueryRunner:
                 self.cache.preload(warm)
             if self.store.loaded_stats:
                 self.engine_stats.merge_payload(self.store.loaded_stats)
+        #: The engine-stats table as last persisted (or warm-loaded), so
+        #: flush() can tell "stats changed" apart from "pure warm replay".
+        self._persisted_stats = self.engine_stats.snapshot()
         self.stats = RunnerStats()
         self._verifiers: dict[int, PortfolioVerifier] = {}
         self._pool: ProcessPoolExecutor | None = None
@@ -233,7 +236,10 @@ class QueryRunner:
         effective_limit = limit
         if query.noise_space_size() > exhaustive_cutoff and effective_limit is None:
             effective_limit = 1000  # solver-driven extraction needs a bound
-        collector = NoiseVectorCollector(self.config, exhaustive_cutoff=exhaustive_cutoff)
+        # Same (seed, index) derivation as _verifier_for: every engine a
+        # task touches must see the per-input seed, not the base one.
+        seeded = replace(self.config, seed=derive_seed(self.config.seed, index))
+        collector = NoiseVectorCollector(seeded, exhaustive_cutoff=exhaustive_cutoff)
         collected = collector.collect(query, limit=effective_limit)
         flipped = [query.predict_single(vector) for vector in collected.vectors]
         outcome = {
@@ -502,15 +508,22 @@ class QueryRunner:
         for task in tasks:
             task.warm = self._warm_entries(task)
         self.stats.parallel_batches += 1
-        outcomes = list(self._pool_handle().map(_run_task, tasks))
+        try:
+            outcomes = list(self._pool_handle().map(_run_task, tasks))
+        finally:
+            # The shipped warm dicts have done their job; leaving them
+            # attached would retain potentially large entry maps and seed
+            # stale warm state if a task object is ever resubmitted.
+            for task in tasks:
+                task.warm = {}
         values = []
         for outcome in outcomes:
-            for key, value in outcome.entries.items():
-                # Exact containment, not peek(): a monotone-derivable
-                # answer must not stop the engine-proved entry landing
-                # in the parent cache (and the disk store).
-                if key not in self.cache:
-                    self.cache.put(key, value)
+            # adopt(), not put(): the worker already counted these stores
+            # (merged below via CacheStats.merge), and exact containment
+            # — not peek() — decides what lands, so a monotone-derivable
+            # answer never stops the engine-proved entry reaching the
+            # parent cache (and the disk store).
+            self.cache.adopt(outcome.entries)
             self.stats.merge(outcome.stats)
             self.cache.stats.merge(outcome.cache_stats)
             self.engine_stats.merge_payload(outcome.engine_stats)
@@ -553,25 +566,28 @@ class QueryRunner:
     # -- persistence ----------------------------------------------------------------
 
     def flush(self) -> None:
-        """Spill new cache entries to the disk store (no-op without one).
+        """Spill new cache entries and stats to the disk store (no-op without one).
 
-        Only called with entries actually added since the warm-start
-        load (or the previous flush): a pure warm replay rewrites
-        nothing, so concurrent readers of the same cache directory are
-        not churned for zero information.  The engine-stats table rides
-        in the same write.
+        Writes when entries were added since the warm-start load (or the
+        previous flush) — and also when only the engine-stats table moved
+        (a warm replay that still ran incomplete stages accrues decide
+        rates worth keeping).  A pure warm replay — no new entries, no
+        new stats — rewrites nothing, so concurrent readers of the same
+        cache directory are not churned for zero information.
         """
         if self.store is None or not self.cache.enabled:
             return
-        if not self.cache.added:
+        stats = self.engine_stats.snapshot()
+        if not self.cache.added and stats == self._persisted_stats:
             return
         saved = self.store.save(
             self.cache.context,
             self.cache.snapshot(),
-            engine_stats=self.engine_stats.snapshot(),
+            engine_stats=stats,
         )
         if saved is not None:
             self.cache.added.clear()
+            self._persisted_stats = stats
 
     def close(self) -> None:
         """Flush the disk store and shut the worker pool down."""
@@ -650,6 +666,11 @@ def _run_task(task) -> _TaskOutcome:
     runner.engine_stats.merge_payload(context.engine_stats)
     baseline = runner.engine_stats.snapshot()
     runner.cache.preload(task.warm)
+    # The preload above is warm-dict *transport*, not logical cache
+    # activity; reset the counters so the stats shipped back (and folded
+    # into the parent by CacheStats.merge) describe only what the task
+    # itself did — keeping parallel == serial accounting.
+    runner.cache.stats = CacheStats()
     value = task.run(runner)
     return _TaskOutcome(
         value=value,

@@ -1,0 +1,57 @@
+"""Batch orchestration plane: many networks/datasets per run, shardable.
+
+The FANNet analyses compare tolerance profiles *across* trained
+networks and dataset slices (the paper per network; Duddu et al. and
+Jonasson et al. across architectures and training regimes).  This
+package turns that workload shape into a service on top of the analysis
+runtime:
+
+- :mod:`repro.service.spec` — :class:`BatchSpec` / :class:`JobSpec`:
+  the declarative campaign description, loadable from a JSON or TOML
+  manifest (``BatchSpec.from_manifest``) or built in Python;
+- :mod:`repro.service.planner` — deterministic expansion into the
+  runtime's picklable task units, each with a stable identity string;
+  :func:`shard_of` partitions the global task list by SHA-256 of that
+  identity, so independent ``--shard i/N`` invocations agree on the
+  partition with zero coordination;
+- :mod:`repro.service.service` — :class:`BatchService`: executes one
+  shard through per-context :class:`~repro.runtime.QueryRunner`s (one
+  cache context per network × verifier config, persisted via the
+  existing :class:`~repro.runtime.store.CacheStore`), writes per-job
+  JSON shard files, and merges any complete shard set into one
+  aggregate :class:`~repro.analysis.records.ExperimentRecord` —
+  **bit-identical for every shard layout**.
+
+CLI: ``fannet batch plan | run | merge`` (see :mod:`repro.cli`).
+"""
+
+from .planner import BatchPlanner, PlannedJob, PlannedTask, shard_of
+from .service import SHARD_FORMAT_VERSION, BatchService, shard_file_name
+from .spec import (
+    MANIFEST_VERSION,
+    BatchSpec,
+    DatasetSpec,
+    ExtractionSpec,
+    JobSpec,
+    NetworkSpec,
+    ProbeSpec,
+    ToleranceSpec,
+)
+
+__all__ = [
+    "BatchPlanner",
+    "BatchService",
+    "BatchSpec",
+    "DatasetSpec",
+    "ExtractionSpec",
+    "JobSpec",
+    "MANIFEST_VERSION",
+    "NetworkSpec",
+    "PlannedJob",
+    "PlannedTask",
+    "ProbeSpec",
+    "SHARD_FORMAT_VERSION",
+    "ToleranceSpec",
+    "shard_file_name",
+    "shard_of",
+]

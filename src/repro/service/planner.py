@@ -1,0 +1,226 @@
+"""Deterministic batch planning: specs → picklable task units → shards.
+
+The planner expands a :class:`~repro.service.spec.BatchSpec` into the
+global list of self-contained work units the runtime already knows how
+to execute (:class:`~repro.runtime.tasks.ToleranceSearchTask` /
+:class:`ExtractionTask` / :class:`ProbeTask`), each wrapped with a
+stable *identity* string.  Sharding is a pure function of that identity
+(:func:`shard_of` — SHA-256, not Python's salted ``hash``), so every
+shard invocation, on any machine, re-plans the identical task list and
+agrees on who owns what without any coordination.  Results are keyed by
+identity, which is what lets the merge step fold any shard layout into
+one bit-identical report.
+
+Planning is deterministic end to end: the case-study data generator and
+the trainer are seeded, quantisation is exact, and jobs are planned in
+sorted-name order.  The planner dedupes expensive resources (the case
+study, trained networks) across jobs that share them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..config import TrainConfig
+from ..data import load_leukemia_case_study
+from ..data.dataset import Dataset
+from ..errors import ConfigError
+from ..nn import load_network, quantize_network, train_paper_network
+from ..runtime import (
+    ExtractionTask,
+    ProbeTask,
+    ToleranceSearchTask,
+    runtime_context,
+)
+from .spec import BatchSpec, JobSpec, NetworkSpec
+
+
+def shard_of(identity: str, shard_count: int) -> int:
+    """Stable shard index for one task identity (0-based).
+
+    SHA-256 of the identity string — invariant across processes, hosts
+    and Python hash randomisation, so any ``--shard i/N`` invocation
+    computes the same partition of the global task list.
+    """
+    if shard_count < 1:
+        raise ConfigError("shard count must be >= 1")
+    digest = hashlib.sha256(identity.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+@dataclass(frozen=True)
+class PlannedTask:
+    """One schedulable unit: a runtime task plus its global identity."""
+
+    job: str
+    identity: str
+    task: Any  # ToleranceSearchTask | ExtractionTask | ProbeTask
+
+    def shard(self, shard_count: int) -> int:
+        return shard_of(self.identity, shard_count)
+
+
+@dataclass
+class PlannedJob:
+    """A job expanded against its built network and dataset slice."""
+
+    spec: JobSpec
+    network: Any  # QuantizedNetwork
+    dataset: Dataset  # the selected slice (rows in index order)
+    indices: tuple[int, ...]  # split-absolute row indices of the slice
+    tasks: list[PlannedTask] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)  # JSON-ready shard-file header
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def shard_tasks(self, shard_index: int, shard_count: int) -> list[PlannedTask]:
+        """This job's tasks owned by ``shard_index`` (0-based) of ``shard_count``."""
+        return [t for t in self.tasks if t.shard(shard_count) == shard_index]
+
+
+class BatchPlanner:
+    """Expands a spec into :class:`PlannedJob` lists, deduping resources."""
+
+    def __init__(self, spec: BatchSpec):
+        self.spec = spec
+        self._case_study = None
+        self._networks: dict[tuple, Any] = {}
+
+    # -- resource construction -------------------------------------------------
+
+    def _case_study_data(self):
+        if self._case_study is None:
+            self._case_study = load_leukemia_case_study()
+        return self._case_study
+
+    def _network_for(self, network_spec: NetworkSpec):
+        """The quantised network a spec names (cached per distinct source)."""
+        key = (network_spec.kind, network_spec.train_seed, network_spec.path)
+        quantized = self._networks.get(key)
+        if quantized is None:
+            if network_spec.kind == "case-study":
+                data = self._case_study_data()
+                result = train_paper_network(
+                    data.train.features,
+                    data.train.labels,
+                    TrainConfig(seed=network_spec.train_seed),
+                )
+                quantized = quantize_network(result.network)
+            else:  # "file"
+                quantized = quantize_network(load_network(network_spec.path))
+            self._networks[key] = quantized
+        return quantized
+
+    def _dataset_for(self, job: JobSpec) -> tuple[Dataset, tuple[int, ...]]:
+        data = self._case_study_data()
+        split = data.test if job.dataset.split == "test" else data.train
+        indices = job.dataset.resolve(split.num_samples)
+        return split.subset(indices), indices
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self) -> list[PlannedJob]:
+        """Every job expanded to tasks, in sorted job-name order."""
+        return [
+            self._plan_job(job)
+            for job in sorted(self.spec.jobs, key=lambda job: job.name)
+        ]
+
+    def _plan_job(self, job: JobSpec) -> PlannedJob:
+        quantized = self._network_for(job.network)
+        dataset, indices = self._dataset_for(job)
+        if quantized.num_inputs != dataset.num_features:
+            raise ConfigError(
+                f"job {job.name!r}: network takes {quantized.num_inputs} inputs "
+                f"but the dataset has {dataset.num_features} features"
+            )
+        planned = PlannedJob(
+            spec=job, network=quantized, dataset=dataset, indices=indices
+        )
+
+        # The paper's convention everywhere: only correctly-classified
+        # inputs carry noise-tolerance information.
+        triples = []
+        for position, index in enumerate(indices):
+            x = np.asarray(dataset.features[position])
+            true_label = int(dataset.labels[position])
+            if quantized.predict(x) != true_label:
+                continue
+            triples.append((int(index), tuple(int(v) for v in x), true_label))
+
+        name = job.name
+        if job.tolerance is not None:
+            for index, x, true_label in triples:
+                planned.tasks.append(
+                    PlannedTask(
+                        job=name,
+                        identity=f"{name}/tolerance/i{index}",
+                        task=ToleranceSearchTask(
+                            index=index,
+                            x=x,
+                            true_label=true_label,
+                            ceiling=job.tolerance.ceiling,
+                            schedule=job.tolerance.schedule,
+                        ),
+                    )
+                )
+        if job.extraction is not None:
+            for index, x, true_label in triples:
+                planned.tasks.append(
+                    PlannedTask(
+                        job=name,
+                        identity=f"{name}/extract/i{index}@p{job.extraction.percent}",
+                        task=ExtractionTask(
+                            index=index,
+                            x=x,
+                            true_label=true_label,
+                            percent=job.extraction.percent,
+                            limit=job.extraction.limit,
+                            exhaustive_cutoff=job.extraction.exhaustive_cutoff,
+                        ),
+                    )
+                )
+        if job.probe is not None:
+            inputs = tuple(triples)
+            for node in range(quantized.num_inputs):
+                for sign, tag in ((+1, "pos"), (-1, "neg")):
+                    planned.tasks.append(
+                        PlannedTask(
+                            job=name,
+                            identity=f"{name}/probe/n{node}.{tag}",
+                            task=ProbeTask(
+                                node=node,
+                                sign=sign,
+                                ceiling=job.probe.ceiling,
+                                inputs=inputs,
+                            ),
+                        )
+                    )
+
+        train_counts = self._case_study_data().train.class_counts()
+        planned.meta = {
+            "job": name,
+            "context": runtime_context(quantized, job.verifier),
+            "correctly_classified": len(triples),
+            "sliced_inputs": len(indices),
+            "indices": [int(i) for i in indices],
+            "train_class_counts": {
+                str(label): int(count) for label, count in sorted(train_counts.items())
+            },
+            "spec": _job_spec_dict(self.spec, job),
+        }
+        return planned
+
+
+def _job_spec_dict(spec: BatchSpec, job: JobSpec) -> dict:
+    """The manifest fragment describing one job (for shard-file headers)."""
+    for entry in spec.to_dict()["jobs"]:
+        if entry["name"] == job.name:
+            return entry
+    raise ConfigError(f"job {job.name!r} is not part of batch {spec.name!r}")

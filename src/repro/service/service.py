@@ -1,0 +1,382 @@
+"""The batch service: plan → run shards → merge to one aggregate report.
+
+:class:`BatchService` executes a :class:`~repro.service.spec.BatchSpec`
+in three decoupled steps, each a plain CLI invocation — which is what
+makes multi-machine scale-out trivial (a shard is just a process):
+
+- :meth:`plan` expands the spec into the global task list (see
+  :mod:`repro.service.planner`) — deterministic, so every shard
+  re-plans identically;
+- :meth:`run_shard` executes the slice of the task list a ``--shard
+  i/N`` invocation owns, one per-context
+  :class:`~repro.runtime.QueryRunner` per job (each runner's cache is
+  keyed — and, with ``cache_dir`` set, persisted — under its own
+  (network, verifier-config) fingerprint), and writes one JSON result
+  file per job per shard;
+- :meth:`merge` folds any complete set of shard files back into one
+  aggregate :class:`~repro.analysis.records.ExperimentRecord` with
+  per-job summaries and cross-network comparison series.
+
+Results are keyed by task identity and merged in sorted order, so the
+merged report is **bit-identical for every shard layout**: one shard,
+N shards, shuffled manifest job order — same bytes.  (Task outcomes
+themselves are shard-invariant by the runtime's determinism contract:
+every stochastic engine seeds from ``(verifier seed, input index)``,
+and the cache can never move a result.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from statistics import median
+
+from ..analysis.records import ExperimentRecord
+from ..errors import ConfigError, DataError
+from ..runtime import QueryRunner
+from .planner import BatchPlanner, PlannedJob
+from .spec import BatchSpec
+
+#: Version stamp of the per-job shard result files.
+SHARD_FORMAT_VERSION = 1
+
+
+def shard_file_name(job: str, shard_index: int, shard_count: int) -> str:
+    """File name for one job's results from one shard (1-based display)."""
+    return f"{job}.shard-{shard_index + 1}-of-{shard_count}.json"
+
+
+def _jsonable(value):
+    """Task outcomes as JSON-stable plain data (tuples become lists)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value
+
+
+class BatchService:
+    """Plan, execute and merge one batch campaign."""
+
+    def __init__(self, spec: BatchSpec):
+        self.spec = spec
+        self._planner = BatchPlanner(spec)
+        self._plan: list[PlannedJob] | None = None
+
+    @classmethod
+    def from_manifest(cls, path) -> "BatchService":
+        return cls(BatchSpec.from_manifest(path))
+
+    def plan(self) -> list[PlannedJob]:
+        """The expanded job list (cached — planning trains networks)."""
+        if self._plan is None:
+            self._plan = self._planner.plan()
+        return self._plan
+
+    # -- execution --------------------------------------------------------------
+
+    def run_shard(
+        self, shard_index: int, shard_count: int, out_dir: str | Path
+    ) -> list[Path]:
+        """Execute shard ``shard_index`` (0-based) of ``shard_count``.
+
+        Writes one ``<job>.shard-<i>-of-<N>.json`` per job that owns at
+        least one task in this shard and returns the written paths.
+        """
+        if not 0 <= shard_index < shard_count:
+            raise ConfigError(
+                f"shard index {shard_index} out of range for {shard_count} shard(s)"
+            )
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        for job in self.plan():
+            mine = job.shard_tasks(shard_index, shard_count)
+            if not mine:
+                continue
+            runner = QueryRunner(job.network, job.spec.verifier, self.spec.runtime)
+            try:
+                outcomes = runner.run_tasks([planned.task for planned in mine])
+            finally:
+                runner.close()
+            payload = {
+                "format": SHARD_FORMAT_VERSION,
+                "batch": self.spec.name,
+                "shard": [shard_index + 1, shard_count],
+                "job": job.meta,
+                "results": {
+                    planned.identity: _jsonable(outcome)
+                    for planned, outcome in zip(mine, outcomes)
+                },
+            }
+            path = out_dir / shard_file_name(job.name, shard_index, shard_count)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            written.append(path)
+        return written
+
+    # -- merge -------------------------------------------------------------------
+
+    def merge(self, out_dir: str | Path) -> ExperimentRecord:
+        """Fold every shard file under ``out_dir`` into one aggregate record.
+
+        Raises :class:`~repro.errors.DataError` when the shard set is
+        incomplete, inconsistent (two shards disagreeing on one task or
+        one job header), or syntactically broken — a partial campaign
+        must never silently merge into a plausible-looking report.
+        """
+        out_dir = Path(out_dir)
+        results, metas = self._collect_shards(out_dir)
+        jobs_payload = []
+        for job in self.plan():  # sorted by name, the merge order contract
+            expected = {planned.identity for planned in job.tasks}
+            have = results.get(job.name, {})
+            missing = sorted(expected - set(have))
+            if missing:
+                raise DataError(
+                    f"job {job.name!r} is missing {len(missing)} of "
+                    f"{len(expected)} task result(s) under {out_dir} "
+                    f"(first missing: {missing[0]!r}); run the remaining shards "
+                    "before merging"
+                )
+            stray = sorted(set(have) - expected)
+            if stray:
+                raise DataError(
+                    f"job {job.name!r} has result(s) for unplanned task(s) "
+                    f"(first: {stray[0]!r}); the shard files under {out_dir} "
+                    "were produced from a different manifest"
+                )
+            # A job whose slice yields zero tasks never wrote a shard
+            # file; its header comes from this process's own plan.
+            jobs_payload.append(
+                _summarise_job(job, have, metas.get(job.name, job.meta))
+            )
+        # Canonical manifest echo: job order in the manifest is a
+        # presentation detail and must not move a byte of the report.
+        manifest = self.spec.to_dict()
+        manifest["jobs"] = sorted(manifest["jobs"], key=lambda job: job["name"])
+        record = ExperimentRecord(
+            experiment_id=f"batch-{self.spec.name}",
+            description=(
+                f"merged batch campaign over {len(jobs_payload)} job(s); "
+                "identical for every shard layout"
+            ),
+            parameters={"manifest": manifest},
+            measured={
+                "jobs": jobs_payload,
+                "comparison": _comparison_series(jobs_payload),
+            },
+            expected_shape=(
+                "per-job tolerance/extraction/probe summaries plus "
+                "cross-network min-tolerance and bias-delta series"
+            ),
+        )
+        return record
+
+    def _collect_shards(self, out_dir: Path):
+        """Read every shard file of this batch: identity→outcome per job."""
+        paths = sorted(out_dir.glob("*.shard-*-of-*.json"))
+        results: dict[str, dict] = {}
+        metas: dict[str, dict] = {}
+        seen_any = False
+        for path in paths:
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError) as err:
+                raise DataError(f"shard file {path} is unreadable: {err}") from None
+            if not isinstance(payload, dict) or payload.get("batch") != self.spec.name:
+                continue  # another campaign sharing the directory
+            if payload.get("format") != SHARD_FORMAT_VERSION:
+                raise DataError(
+                    f"shard file {path} has format {payload.get('format')!r}, "
+                    f"expected {SHARD_FORMAT_VERSION}"
+                )
+            meta = payload.get("job")
+            if not isinstance(meta, dict) or "job" not in meta:
+                raise DataError(f"shard file {path} has no job header")
+            name = meta["job"]
+            seen_any = True
+            if name in metas and metas[name] != meta:
+                raise DataError(
+                    f"shard files disagree on job {name!r}'s header (e.g. {path}); "
+                    "shards were produced from different manifests or code versions"
+                )
+            metas.setdefault(name, meta)
+            bucket = results.setdefault(name, {})
+            for identity, outcome in payload.get("results", {}).items():
+                if identity in bucket and bucket[identity] != outcome:
+                    raise DataError(
+                        f"shard files disagree on task {identity!r} (e.g. {path}); "
+                        "determinism violation or mixed manifests"
+                    )
+                bucket[identity] = outcome
+        if not seen_any:
+            raise DataError(
+                f"no shard files for batch {self.spec.name!r} under {out_dir}; "
+                "run `fannet batch run` first"
+            )
+        return results, metas
+
+
+# -- per-job summarisation ------------------------------------------------------
+
+
+def _summarise_job(job: PlannedJob, results: dict, meta: dict) -> dict:
+    spec = job.spec
+    summary: dict = {
+        "name": job.name,
+        "context": meta["context"],
+        "correctly_classified": meta["correctly_classified"],
+        "sliced_inputs": meta["sliced_inputs"],
+    }
+    if spec.tolerance is not None:
+        summary["tolerance"] = _fold_tolerance(job, results)
+    if spec.extraction is not None:
+        summary["extraction"] = _fold_extraction(job, results, meta)
+    if spec.probe is not None:
+        summary["probe"] = _fold_probe(job, results)
+    return summary
+
+
+def _tasks_of(job: PlannedJob, kind: str):
+    prefix = f"{job.name}/{kind}/"
+    return [p for p in job.tasks if p.identity.startswith(prefix)]
+
+
+def _fold_tolerance(job: PlannedJob, results: dict) -> dict:
+    per_input = []
+    for planned in sorted(_tasks_of(job, "tolerance"), key=lambda p: p.task.index):
+        outcome = results[planned.identity]
+        per_input.append(
+            {
+                "index": planned.task.index,
+                "true_label": planned.task.true_label,
+                "min_flip_percent": outcome["min_flip_percent"],
+                "witness": outcome["witness"],
+                "flipped_to": outcome["flipped_to"],
+                "queries": outcome["queries"],
+            }
+        )
+    flips = sorted(
+        entry["min_flip_percent"]
+        for entry in per_input
+        if entry["min_flip_percent"] is not None
+    )
+    ceiling = job.spec.tolerance.ceiling
+    return {
+        "ceiling": ceiling,
+        "schedule": job.spec.tolerance.schedule,
+        # Largest ΔX with no counterexample for any input (paper: ±11).
+        "tolerance": (min(flips) - 1) if flips else ceiling,
+        "min_flip_percents": flips,  # the distribution, smallest first
+        "min_flip_median": median(flips) if flips else None,
+        "robust_at_ceiling": len(per_input) - len(flips),
+        "per_input": per_input,
+    }
+
+
+def _fold_extraction(job: PlannedJob, results: dict, meta: dict) -> dict:
+    from ..core.bias import BiasReport
+
+    per_input = []
+    flip_matrix: dict[tuple[int, int], int] = {}
+    total = 0
+    for planned in sorted(_tasks_of(job, "extract"), key=lambda p: p.task.index):
+        outcome = results[planned.identity]
+        true_label = planned.task.true_label
+        count = len(outcome["vectors"])
+        total += count
+        per_input.append(
+            {
+                "index": planned.task.index,
+                "true_label": true_label,
+                "vectors": count,
+                "exhausted": outcome["exhausted"],
+            }
+        )
+        for wrong in outcome["flipped_to"]:
+            key = (true_label, int(wrong))
+            flip_matrix[key] = flip_matrix.get(key, 0) + 1
+
+    # The paper's Eq.-4 criterion lives in core/bias.py, once.
+    bias = BiasReport.from_census(
+        {int(k): v for k, v in meta["train_class_counts"].items()},
+        flip_matrix,
+        noise_percent=job.spec.extraction.percent,
+    )
+    return {
+        "percent": job.spec.extraction.percent,
+        "total_vectors": total,
+        "vulnerable_inputs": sum(1 for entry in per_input if entry["vectors"]),
+        "per_input": per_input,
+        "flip_matrix": {
+            f"{true}->{wrong}": count
+            for (true, wrong), count in sorted(flip_matrix.items())
+        },
+        "bias": {
+            "training_majority_label": bias.training_majority_label,
+            "training_majority_share": bias.training_majority_share,
+            "majority_flip_share": bias.majority_flip_share,
+            # How much more often flips land on the majority class than
+            # its training share alone would predict (paper: ≈ +0.3).
+            "delta": (
+                bias.majority_flip_share - bias.training_majority_share
+                if total
+                else None
+            ),
+            "confirmed": bias.bias_confirmed,
+        },
+    }
+
+
+def _fold_probe(job: PlannedJob, results: dict) -> dict:
+    thresholds: dict[int, dict] = {}
+    for planned in _tasks_of(job, "probe"):
+        task = planned.task
+        entry = thresholds.setdefault(task.node, {"node": task.node})
+        entry["positive" if task.sign > 0 else "negative"] = results[planned.identity]
+    return {
+        "ceiling": job.spec.probe.ceiling,
+        "thresholds": [thresholds[node] for node in sorted(thresholds)],
+    }
+
+
+# -- cross-network comparison ---------------------------------------------------
+
+
+def _comparison_series(jobs_payload: list[dict]) -> dict:
+    """The cross-job series the merge report tabulates.
+
+    Plain data here; :mod:`repro.analysis.compare` renders the tables.
+    """
+    min_tolerance = []
+    bias_delta = []
+    for job in jobs_payload:
+        tolerance = job.get("tolerance")
+        if tolerance is not None:
+            flips = tolerance["min_flip_percents"]
+            min_tolerance.append(
+                {
+                    "job": job["name"],
+                    "tolerance": tolerance["tolerance"],
+                    "min_flip_min": flips[0] if flips else None,
+                    "min_flip_median": tolerance["min_flip_median"],
+                    "min_flip_max": flips[-1] if flips else None,
+                    "robust_at_ceiling": tolerance["robust_at_ceiling"],
+                    "inputs": len(tolerance["per_input"]),
+                }
+            )
+        extraction = job.get("extraction")
+        if extraction is not None:
+            bias = extraction["bias"]
+            bias_delta.append(
+                {
+                    "job": job["name"],
+                    "percent": extraction["percent"],
+                    "vectors": extraction["total_vectors"],
+                    "training_majority_share": bias["training_majority_share"],
+                    "majority_flip_share": bias["majority_flip_share"],
+                    "delta": bias["delta"],
+                    "confirmed": bias["confirmed"],
+                }
+            )
+    return {"min_tolerance": min_tolerance, "bias_delta": bias_delta}

@@ -18,6 +18,7 @@ from repro.errors import ConfigError
 from repro.nn.quantize import QuantizedLayer, QuantizedNetwork
 from repro.runtime import (
     MISS,
+    CacheStats,
     ExtractionTask,
     MonotoneCache,
     QueryCache,
@@ -153,6 +154,30 @@ class TestQueryCache:
         cache.put(key_b, "b")
         assert cache.entries_for_input(0, (1, 2)) == {key_a: "a"}
         assert cache.entries_for_input(0, (9, 9)) == {}
+
+    def test_stats_merge_folds_every_counter(self):
+        """Regression: merge() used to drop stores/preloads/invalidations."""
+        parent = CacheStats(hits=1, derived_hits=2, misses=3, stores=4, preloads=5, invalidations=0)
+        worker = CacheStats(hits=10, derived_hits=20, misses=30, stores=40, preloads=50, invalidations=1)
+        parent.merge(worker)
+        assert parent == CacheStats(
+            hits=11, derived_hits=22, misses=33, stores=44, preloads=55, invalidations=1
+        )
+
+    def test_adopt_journals_without_counting_stores(self):
+        for cache in (QueryCache(), MonotoneCache()):
+            existing = make_key("verify", 0, (1, 2), 0, 5)
+            cache.put(existing, "parent")
+            cache.added.clear()  # as after a flush
+            shipped = make_key("verify", 1, (1, 2), 0, 9)
+            cache.adopt({existing: "worker", shipped: robust()})
+            assert cache.stats.stores == 1  # only the original put
+            assert cache.peek(existing) == "parent"  # present keys kept
+            assert cache.peek(shipped).is_robust
+            assert list(cache.added) == [shipped]  # journalled for flush
+            assert shipped in cache.entries_for_input(1, (1, 2))
+        # The monotone flavour indexes adopted facts for derivation.
+        assert cache.get(make_key("verify", 1, (1, 2), 0, 3)).is_robust
 
     def test_entries_for_input_mixes_empty_and_nonempty_extras(self):
         """Keys with extra=() and extra=(...) for one input coexist."""
@@ -385,6 +410,29 @@ class TestRunnerCaching:
         assert first == second
         assert runner.stats.probe_evals == 1
 
+    def test_collect_at_derives_the_per_input_seed(self, network, x, label, monkeypatch):
+        """Regression: the collector ran on the base config, breaking the
+        documented (seed, index) contract that _verifier_for honours."""
+        import repro.runtime.runner as runner_module
+        from repro.verify import NoiseVectorCollector
+
+        seen: list[int] = []
+
+        class SpyCollector(NoiseVectorCollector):
+            def __init__(self, config, **kwargs):
+                seen.append(config.seed)
+                super().__init__(config, **kwargs)
+
+        monkeypatch.setattr(runner_module, "NoiseVectorCollector", SpyCollector)
+        runner = QueryRunner(network)
+        for index in (0, 7, -1):
+            runner.collect_at(
+                x, label, 20, limit=3, exhaustive_cutoff=10**6, index=index
+            )
+        assert seen == [
+            derive_seed(runner.config.seed, index) for index in (0, 7, -1)
+        ]
+
     def test_verify_result_matches_direct_portfolio(self, network, x, label):
         runner = QueryRunner(network, VerifierConfig())
         query = build_query(network, np.array(x), label, NoiseConfig(max_percent=8))
@@ -558,6 +606,29 @@ class TestRunnerPersistence:
         runner.close()
         assert not list(tmp_path.glob("*.qcache"))
 
+    def test_flush_persists_stats_accrued_during_a_warm_replay(
+        self, tmp_path, network, x, label
+    ):
+        """Regression: flush() returned early on an empty `added` journal,
+        silently discarding EngineStats the replay had accrued."""
+        runtime = RuntimeConfig(cache_dir=str(tmp_path))
+        cold = QueryRunner(network, runtime=runtime)
+        cold.verify_at(x, label, 10)
+        cold.close()
+
+        warm = QueryRunner(network, runtime=runtime)
+        warm.verify_at(x, label, 10)  # pure cache hit: nothing added
+        assert not warm.cache.added
+        # A replay can still run (and learn from) incomplete stages.
+        warm.engine_stats.record("interval", decided=False, wall_s=0.5)
+        warm.close()
+
+        reloaded = QueryRunner(network, runtime=runtime)
+        stat = reloaded.engine_stats.stages["interval"]
+        assert stat.attempts == warm.engine_stats.stages["interval"].attempts
+        assert stat.wall_s == pytest.approx(warm.engine_stats.stages["interval"].wall_s)
+        reloaded.close()
+
     def test_config_change_keys_a_different_file(self, tmp_path, network, x, label):
         runtime = RuntimeConfig(cache_dir=str(tmp_path))
         first = QueryRunner(network, VerifierConfig(seed=0), runtime=runtime)
@@ -596,6 +667,33 @@ class TestRunnerFanOut:
             self._tasks(network, x, label)
         )
         assert parallel.stats.parallel_batches == 1
+
+    def test_parallel_cache_stats_match_serial(self, network, x, label):
+        """Regression: merge() dropped worker stores, so the CLI cache
+        report undercounted stores on every parallel run."""
+        serial = QueryRunner(network)
+        serial.run_tasks(self._tasks(network, x, label))
+        parallel = QueryRunner(network, runtime=RuntimeConfig(workers=2))
+        parallel.run_tasks(self._tasks(network, x, label))
+        assert parallel.stats.parallel_batches == 1  # the pool really ran
+        assert parallel.cache.stats == serial.cache.stats
+        assert parallel.cache.stats.stores == len(serial.cache)
+        # A warm second batch ships warm dicts to the workers; their
+        # transport preload must not read as logical cache activity.
+        serial.run_tasks(self._tasks(network, x, label))
+        parallel.run_tasks(self._tasks(network, x, label))
+        assert parallel.cache.stats == serial.cache.stats
+        assert parallel.cache.stats.preloads == 0
+
+    def test_pooled_tasks_drop_their_warm_dicts(self, network, x, label):
+        """Regression: _run_pooled left the shipped warm entry maps
+        attached to the task objects after the batch."""
+        runner = QueryRunner(network, runtime=RuntimeConfig(workers=2))
+        tasks = self._tasks(network, x, label)
+        runner.run_tasks(tasks)  # cold batch fills the parent cache
+        runner.run_tasks(tasks)  # warm batch ships non-empty warm dicts
+        assert runner.stats.parallel_batches == 2
+        assert all(task.warm == {} for task in tasks)
 
     def test_parallel_run_fills_parent_cache(self, network, x, label):
         runner = QueryRunner(network, runtime=RuntimeConfig(workers=2))
