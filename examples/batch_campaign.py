@@ -40,8 +40,17 @@ def main() -> None:
         # partition is a pure function of task identity, so the two
         # invocations coordinate through nothing but the manifest.
         for index in range(2):
-            written = service.run_shard(index, 2, out)
-            print(f"shard {index + 1}/2 wrote {len(written)} job file(s)")
+            report = service.run_shard(index, 2, out)
+            print(
+                f"shard {index + 1}/2 executed {report.executed} task(s), "
+                f"wrote {len(report.written)} job file(s)"
+            )
+
+        # The directory is triage-able at any point: a killed shard
+        # would show its exact missing identities here, and
+        # run_shard(..., resume=True) would re-execute only that gap.
+        status = service.status(out)
+        print(f"status: {'complete' if status.complete else status.rerun}")
 
         record = service.merge(out)
         save_record(record, out / "merged.json")

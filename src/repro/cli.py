@@ -8,14 +8,19 @@ Subcommands mirror the paper's workflow:
 - ``check``      — model-check an ``.smv`` file's INVARSPECs
 - ``statespace`` — Fig.-3 state/transition counts
 - ``tolerance``  — noise-tolerance search only
-- ``batch``      — multi-network campaigns: ``plan`` / ``run`` / ``merge``
-  a sharded batch manifest (see :mod:`repro.service`)
+- ``batch``      — multi-network campaigns: ``plan`` / ``run`` /
+  ``status`` / ``merge`` a sharded batch manifest (see
+  :mod:`repro.service`); ``run --resume`` re-executes only the tasks a
+  killed shard lost
+- ``cache``      — lifecycle tooling over ``--cache-dir`` stores:
+  ``list`` / ``inspect`` / ``prune`` (see :mod:`repro.runtime.lifecycle`)
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -70,6 +75,15 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
         help="rows per concatenated bulk network evaluation in the frontier "
         "prepass (a memory knob; results do not depend on it)",
     )
+    parser.add_argument(
+        "--max-cache-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="with --cache-dir: after every flush, evict the oldest store "
+        "files until the directory fits this budget (the context this run "
+        "writes is never evicted); default: unbounded",
+    )
 
 
 def _runtime_config(args) -> RuntimeConfig:
@@ -80,6 +94,7 @@ def _runtime_config(args) -> RuntimeConfig:
         persist=not args.no_persist,
         frontier=args.frontier,
         batch_size=args.batch_size,
+        max_cache_bytes=args.max_cache_bytes,
     )
 
 
@@ -94,6 +109,14 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # A downstream consumer (`| head`, `| grep -q`) closed the pipe
+        # early: die quietly with the conventional SIGPIPE status, not a
+        # traceback.  stdout is re-pointed at devnull so the interpreter
+        # teardown's implicit flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -173,7 +196,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="this invocation's shard, 1-based (e.g. 2/4); default 1/1 "
         "runs everything — identical results either way",
     )
+    batch_run.add_argument(
+        "--resume", action="store_true",
+        help="skip task results already in --out whose ledger fingerprints "
+        "validate; re-execute only the missing/corrupt/stale gap (the "
+        "merged report is byte-identical to an uninterrupted run)",
+    )
     batch_run.set_defaults(handler=_cmd_batch_run)
+
+    batch_status = batch_sub.add_parser(
+        "status",
+        help="report which task identities are done, missing, corrupt or "
+        "stale in an output directory (exit 3 when incomplete)",
+    )
+    batch_status.add_argument("manifest", type=Path, help="batch manifest (JSON/TOML)")
+    batch_status.add_argument("out", type=Path, help="directory holding the shard files")
+    batch_status.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the status report as JSON",
+    )
+    batch_status.set_defaults(handler=_cmd_batch_status)
 
     batch_merge = batch_sub.add_parser(
         "merge", help="fold shard result files into one aggregate report"
@@ -185,6 +227,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where to write the merged report (default: DIR/merged.json)",
     )
     batch_merge.set_defaults(handler=_cmd_batch_merge)
+
+    cache = sub.add_parser(
+        "cache",
+        help="cache-store lifecycle: list / inspect / prune a --cache-dir",
+    )
+    cache_sub = cache.add_subparsers()
+
+    cache_list = cache_sub.add_parser(
+        "list", help="one line per *.qcache store file under a directory"
+    )
+    cache_list.add_argument("directory", type=Path, help="a --cache-dir directory")
+    cache_list.set_defaults(handler=_cmd_cache_list)
+
+    cache_inspect = cache_sub.add_parser(
+        "inspect", help="validate one store file and print its header"
+    )
+    cache_inspect.add_argument("file", type=Path, help="a *.qcache store file")
+    cache_inspect.set_defaults(handler=_cmd_cache_inspect)
+
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict oldest-mtime store files until the directory fits a "
+        "byte budget (never touches non-store files)",
+    )
+    cache_prune.add_argument("directory", type=Path, help="a --cache-dir directory")
+    cache_prune.add_argument(
+        "--max-cache-bytes", type=int, required=True, metavar="BYTES",
+        help="byte budget the directory must fit after pruning",
+    )
+    cache_prune.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted without removing anything",
+    )
+    cache_prune.set_defaults(handler=_cmd_cache_prune)
 
     return parser
 
@@ -405,17 +481,64 @@ def _cmd_batch_run(args) -> int:
 
     shard_index, shard_count = _parse_shard(args.shard)
     service = BatchService.from_manifest(args.manifest)
-    written = service.run_shard(shard_index, shard_count, args.out)
-    total = sum(
-        len(job.shard_tasks(shard_index, shard_count)) for job in service.plan()
+    report = service.run_shard(
+        shard_index, shard_count, args.out, resume=args.resume
     )
     print(
         f"batch '{service.spec.name}' shard {shard_index + 1}/{shard_count}: "
-        f"{total} task(s) executed, {len(written)} job file(s) written to {args.out}"
+        f"{report.executed} task(s) executed, {report.reused} reused"
+        f"{' (resume)' if args.resume else ''}, "
+        f"{len(report.written)} job file(s) written to {args.out}"
     )
-    for path in written:
+    for path in report.written:
         print(f"  {path}")
     return 0
+
+
+def _cmd_batch_status(args) -> int:
+    import json as json_module
+
+    from .analysis import format_table
+    from .service import BatchService
+
+    service = BatchService.from_manifest(args.manifest)
+    status = service.status(args.out)
+    rows = [
+        (
+            job.job,
+            job.expected,
+            len(job.done),
+            len(job.missing),
+            len(job.corrupt),
+            len(job.stale),
+        )
+        for job in status.jobs
+    ]
+    print(
+        format_table(
+            ("job", "expected", "done", "missing", "corrupt", "stale"),
+            rows,
+            title=f"batch '{status.batch}' under {args.out}: "
+            + ("complete" if status.complete else "INCOMPLETE"),
+        )
+    )
+    rerun = status.rerun
+    if rerun:
+        print(f"\n{len(rerun)} task identit(ies) need re-execution:")
+        for identity in rerun:
+            print(f"  {identity}")
+        print("\nfill the gap with: fannet batch run <manifest> --out "
+              f"{args.out} --shard i/N --resume")
+    if status.stray:
+        print(f"\n{len(status.stray)} stray identit(ies) from another manifest:")
+        for identity in status.stray:
+            print(f"  {identity}")
+    for problem in status.problems:
+        print(f"note: {problem}")
+    if args.json is not None:
+        args.json.write_text(json_module.dumps(status.to_payload(), indent=2))
+        print(f"\nstatus JSON written to {args.json}")
+    return 0 if status.complete else 3
 
 
 def _cmd_batch_merge(args) -> int:
@@ -433,6 +556,89 @@ def _cmd_batch_merge(args) -> int:
     )
     print()
     print(comparison_tables(record.measured["comparison"]))
+    return 0
+
+
+def _size(num_bytes: int) -> str:
+    """Human-readable byte count (stable, locale-free)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(num_bytes)} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache_list(args) -> int:
+    from .analysis import format_table
+    from .runtime import scan_cache_dir
+
+    infos = scan_cache_dir(args.directory)
+    if not infos:
+        print(f"no cache store files under {args.directory}")
+        return 0
+    rows = []
+    for info in infos:
+        if info.ok:
+            state = "stale-version" if info.stale_version else "ok"
+        else:
+            state = f"INVALID: {info.error}"
+        rows.append(
+            (
+                info.path.name,
+                _size(info.size),
+                info.entries if info.entries is not None else "-",
+                info.context or "-",
+                state,
+            )
+        )
+    total = sum(info.size for info in infos if info.ok)
+    print(
+        format_table(
+            ("file", "size", "entries", "context", "state"),
+            rows,
+            title=f"{len(infos)} cache file(s) under {args.directory} "
+            f"({_size(total)} of valid stores)",
+        )
+    )
+    return 0
+
+
+def _cmd_cache_inspect(args) -> int:
+    from .runtime import inspect_cache_file
+    from .runtime.store import STORE_VERSION
+
+    info = inspect_cache_file(args.file)
+    print(f"file          : {info.path}")
+    print(f"size          : {_size(info.size)}")
+    print(f"store version : {info.version}"
+          + ("" if info.version == STORE_VERSION else f" (this build reads {STORE_VERSION})"))
+    print(f"context       : {info.context}")
+    print(f"entries       : {info.entries}")
+    print(f"engine stats  : {'present' if info.has_engine_stats else 'absent'}")
+    print("checksum      : ok")
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    from .runtime import prune_cache_dir
+
+    report = prune_cache_dir(
+        args.directory, args.max_cache_bytes, dry_run=args.dry_run
+    )
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"cache prune {args.directory} (budget {_size(report.budget)}"
+        f"{', dry run' if args.dry_run else ''}): "
+        f"{verb} {len(report.evicted)} file(s) ({_size(report.evicted_bytes)}), "
+        f"kept {len(report.kept)} ({_size(report.remaining_bytes)})"
+    )
+    for info in report.evicted:
+        print(f"  {verb}: {info.path.name} ({_size(info.size)})")
+    for info in report.skipped:
+        print(f"  skipped (not a store file): {info.path.name} — {info.error}")
+    for error in report.errors:
+        print(f"  warning: {error}")
     return 0
 
 

@@ -161,6 +161,13 @@ class RuntimeConfig(_FromMapping):
     monotone bisection.  Reports are bit-identical with the frontier on
     or off; ``batch_size`` caps the rows per concatenated bulk network
     evaluation (a memory knob — it can never move a result).
+
+    ``max_cache_bytes`` bounds the size of the ``cache_dir`` directory:
+    after every flush the oldest-by-mtime store files are evicted until
+    the directory fits the budget (see :mod:`repro.runtime.lifecycle`).
+    The context the flushing run just wrote is never evicted by its own
+    flush.  ``None`` (the default) never evicts — entries are
+    mathematical facts about a fixed network and do not expire.
     """
 
     workers: int = 1
@@ -170,12 +177,15 @@ class RuntimeConfig(_FromMapping):
     persist: bool = True
     frontier: bool = True
     batch_size: int = 4096
+    max_cache_bytes: int | None = None
 
     def __post_init__(self):
         if self.workers <= 0:
             raise ConfigError("workers must be positive")
         if self.batch_size <= 0:
             raise ConfigError("batch_size must be positive")
+        if self.max_cache_bytes is not None and self.max_cache_bytes < 0:
+            raise ConfigError("max_cache_bytes must be >= 0 (or null: unbounded)")
 
     @property
     def persistence_enabled(self) -> bool:

@@ -14,8 +14,24 @@ from .golub import GolubConfig, generate_golub_like
 from .mrmr import mutual_information, mrmr_select
 from .preprocess import scale_to_integers, select_columns
 from .loaders import LeukemiaCaseStudy, load_leukemia_case_study
+from .sources import (
+    SOURCE_DTYPES,
+    CsvSource,
+    DatasetSource,
+    NpzSource,
+    build_source,
+    register_source,
+    source_kinds,
+)
 
 __all__ = [
+    "SOURCE_DTYPES",
+    "CsvSource",
+    "DatasetSource",
+    "NpzSource",
+    "build_source",
+    "register_source",
+    "source_kinds",
     "Dataset",
     "LabelledSplit",
     "CLASS_NAMES",

@@ -1,0 +1,361 @@
+"""Pluggable dataset sources: feature files beyond the case-study splits.
+
+The batch service's manifests name *where a job's data comes from*.  The
+built-in case-study splits cover the paper's Figs. 3–4; fleet campaigns
+(the Duddu et al. / Jonasson et al. workload shape) sweep external
+model/dataset grids, so this module defines the extension point:
+
+- :class:`DatasetSource` — loads a :class:`~repro.data.dataset.Dataset`
+  and exposes a **content digest** (SHA-256 over the file bytes *and*
+  the parse parameters).  The digest is folded into every task identity
+  and into the runtime cache context, so editing a feature file — or
+  re-parsing the same file with a different label column — changes the
+  identities and invalidates the persisted cache, while re-running over
+  unchanged bytes hits both;
+- :class:`CsvSource` / :class:`NpzSource` — the two built-in formats,
+  with declared dtype, shape and label-column handling;
+- a registry (:func:`register_source` / :func:`build_source`) keyed by
+  the manifest's ``kind`` string, which is what
+  :mod:`repro.service.spec` validates against.
+
+Validation is strict and typed: malformed files (ragged CSV rows,
+non-integral values under an integer dtype, missing labels or archive
+keys) raise :class:`~repro.errors.DataError` with the offending
+row/column/key named — numpy/csv internals never propagate to callers.
+The analyses run on the paper's integer-scaled feature model, so every
+source declares an integer ``dtype`` and loading verifies the file
+honours it.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import zipfile
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ConfigError, DataError
+from .dataset import Dataset
+
+#: Integer dtypes a source may declare (the formal model is integral).
+SOURCE_DTYPES = ("int64", "int32", "int16")
+
+
+def _check_dtype(dtype: str) -> str:
+    if dtype not in SOURCE_DTYPES:
+        raise ConfigError(
+            f"dataset source dtype {dtype!r} is not one of {SOURCE_DTYPES} "
+            "(the formal analyses run on integer-scaled features)"
+        )
+    return dtype
+
+
+def _file_bytes(path: Path, what: str) -> bytes:
+    try:
+        return path.read_bytes()
+    except OSError as err:
+        raise DataError(f"cannot read {what} dataset {path}: {err}") from None
+
+
+class DatasetSource(ABC):
+    """One loadable dataset plus its content-addressed identity."""
+
+    #: Registry key; manifests select a source with ``{"kind": ...}``.
+    kind: str = ""
+
+    @abstractmethod
+    def load(self) -> Dataset:
+        """Parse the file into a validated :class:`Dataset` (loud on junk)."""
+
+    @abstractmethod
+    def params(self) -> dict:
+        """The parse parameters that shape the dataset (digest input)."""
+
+    @abstractmethod
+    def content_bytes(self) -> bytes:
+        """The raw file bytes (digest input)."""
+
+    def digest(self) -> str:
+        """SHA-256 hex over parse parameters + file content.
+
+        Content-addressed: the same bytes parsed the same way give the
+        same digest wherever the file lives, and *any* change to either
+        — file edits, a different label column, a different dtype —
+        gives a new one.  Task identities and the persisted cache
+        context both embed it.
+        """
+        spec = dict(self.params(), kind=self.kind)
+        spec.pop("path", None)  # content-addressed, not location-addressed
+        canon = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canon.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(hashlib.sha256(self.content_bytes()).digest())
+        return digest.hexdigest()
+
+    def describe(self) -> dict:
+        """JSON-ready summary for shard-file headers and status output."""
+        return dict(self.params(), kind=self.kind, digest=self.digest())
+
+
+def _validated(features, labels, dtype: str, what: str) -> Dataset:
+    """Common shape/dtype gate, numpy errors translated to DataError."""
+    target = np.dtype(dtype)
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if features.ndim != 2 or 0 in features.shape:
+        raise DataError(
+            f"{what}: features must be a non-empty 2-D matrix, "
+            f"got shape {features.shape}"
+        )
+    if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+        raise DataError(
+            f"{what}: {features.shape[0]} feature row(s) need "
+            f"{features.shape[0]} label(s), got {labels.shape}"
+        )
+    for name, array in (("features", features), ("labels", labels)):
+        if not np.issubdtype(array.dtype, np.integer):
+            raise DataError(
+                f"{what}: {name} have dtype {array.dtype}, but the declared "
+                f"source dtype is {dtype} (scale them to integers first)"
+            )
+    info = np.iinfo(target)
+    if features.size and (features.min() < info.min or features.max() > info.max):
+        raise DataError(
+            f"{what}: feature values exceed the declared dtype {dtype}"
+        )
+    if labels.size and labels.min() < 0:
+        raise DataError(f"{what}: labels must be non-negative class indices")
+    return Dataset(features.astype(target), labels.astype(np.int64))
+
+
+class CsvSource(DatasetSource):
+    """CSV feature file: one row per sample, one column per feature + label.
+
+    ``label_column`` selects the label: a column *name* (requires a
+    header row), a 0-based column *index*, or ``None`` for the last
+    column.  A header row is auto-detected (any non-integer cell in the
+    first row).  Rows must be rectangular and every cell must parse as
+    an integer of the declared ``dtype`` — anything else raises
+    :class:`DataError` naming the row and column.
+    """
+
+    kind = "csv"
+
+    def __init__(
+        self,
+        path: str,
+        label_column: str | int | None = None,
+        dtype: str = "int64",
+        delimiter: str = ",",
+    ):
+        if not path:
+            raise ConfigError("csv dataset source requires a 'path'")
+        if not isinstance(delimiter, str) or len(delimiter) != 1:
+            raise ConfigError("csv delimiter must be a single character")
+        self.path = Path(path)
+        self.label_column = label_column
+        self.dtype = _check_dtype(dtype)
+        self.delimiter = delimiter
+
+    def params(self) -> dict:
+        label = self.label_column
+        return {
+            "path": str(self.path),
+            "label_column": label,
+            "dtype": self.dtype,
+            "delimiter": self.delimiter,
+        }
+
+    def content_bytes(self) -> bytes:
+        return _file_bytes(self.path, "csv")
+
+    def _rows(self) -> list[list[str]]:
+        try:
+            text = self.content_bytes().decode("utf-8", errors="strict")
+        except UnicodeDecodeError as err:
+            raise DataError(
+                f"csv dataset {self.path} is not valid UTF-8: {err}"
+            ) from None
+        try:
+            rows = [row for row in csv.reader(io.StringIO(text), delimiter=self.delimiter) if row]
+        except csv.Error as err:
+            raise DataError(f"csv dataset {self.path} is malformed: {err}") from None
+        if not rows:
+            raise DataError(f"csv dataset {self.path} is empty")
+        return rows
+
+    @staticmethod
+    def _is_int(cell: str) -> bool:
+        try:
+            int(cell.strip())
+        except ValueError:
+            return False
+        return True
+
+    def load(self) -> Dataset:
+        rows = self._rows()
+        header: list[str] | None = None
+        if not all(self._is_int(cell) for cell in rows[0]):
+            header = [cell.strip() for cell in rows[0]]
+            rows = rows[1:]
+            if not rows:
+                raise DataError(f"csv dataset {self.path} has a header but no rows")
+        width = len(rows[0])
+        if width < 2:
+            raise DataError(
+                f"csv dataset {self.path} needs at least one feature column "
+                "plus a label column"
+            )
+        label_at = self._label_index(header, width)
+        features = []
+        labels = []
+        for number, row in enumerate(rows, start=2 if header else 1):
+            if len(row) != width:
+                raise DataError(
+                    f"csv dataset {self.path} row {number} has {len(row)} "
+                    f"column(s), expected {width} (ragged rows)"
+                )
+            parsed = []
+            for column, cell in enumerate(row):
+                cell = cell.strip()
+                if not self._is_int(cell):
+                    raise DataError(
+                        f"csv dataset {self.path} row {number}, column "
+                        f"{column}: {cell!r} is not an integer (declared "
+                        f"dtype {self.dtype})"
+                    )
+                parsed.append(int(cell))
+            labels.append(parsed.pop(label_at))
+            features.append(parsed)
+        return _validated(features, labels, self.dtype, f"csv dataset {self.path}")
+
+    def _label_index(self, header: list[str] | None, width: int) -> int:
+        label = self.label_column
+        if label is None:
+            return width - 1
+        if isinstance(label, str):
+            if header is None:
+                raise DataError(
+                    f"csv dataset {self.path} has no header row, so the label "
+                    f"column cannot be named {label!r}; use a column index"
+                )
+            if label not in header:
+                raise DataError(
+                    f"csv dataset {self.path} has no column {label!r} "
+                    f"(columns: {', '.join(header)})"
+                )
+            return header.index(label)
+        index = int(label)
+        if not 0 <= index < width:
+            raise DataError(
+                f"csv dataset {self.path}: label column {index} out of range "
+                f"for {width} column(s)"
+            )
+        return index
+
+
+class NpzSource(DatasetSource):
+    """NumPy ``.npz`` archive holding a feature matrix and a label vector.
+
+    ``features_key``/``labels_key`` name the archive members (defaults
+    ``features``/``labels``).  Arrays must already be integral — the
+    declared ``dtype`` is verified, never silently coerced from floats.
+    ``allow_pickle`` stays off: a crafted archive cannot execute code.
+    """
+
+    kind = "npz"
+
+    def __init__(
+        self,
+        path: str,
+        features_key: str = "features",
+        labels_key: str = "labels",
+        dtype: str = "int64",
+    ):
+        if not path:
+            raise ConfigError("npz dataset source requires a 'path'")
+        for what, key in (("features_key", features_key), ("labels_key", labels_key)):
+            if not isinstance(key, str) or not key:
+                raise ConfigError(f"npz {what} must be a non-empty string")
+        self.path = Path(path)
+        self.features_key = features_key
+        self.labels_key = labels_key
+        self.dtype = _check_dtype(dtype)
+
+    def params(self) -> dict:
+        return {
+            "path": str(self.path),
+            "features_key": self.features_key,
+            "labels_key": self.labels_key,
+            "dtype": self.dtype,
+        }
+
+    def content_bytes(self) -> bytes:
+        return _file_bytes(self.path, "npz")
+
+    def load(self) -> Dataset:
+        raw = self.content_bytes()
+        try:
+            with np.load(io.BytesIO(raw), allow_pickle=False) as archive:
+                members = set(archive.files)
+                for key in (self.features_key, self.labels_key):
+                    if key not in members:
+                        raise DataError(
+                            f"npz dataset {self.path} has no array {key!r} "
+                            f"(members: {', '.join(sorted(members)) or 'none'})"
+                        )
+                features = archive[self.features_key]
+                labels = archive[self.labels_key]
+        except DataError:
+            raise
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError) as err:
+            raise DataError(
+                f"npz dataset {self.path} is not a readable .npz archive: {err}"
+            ) from None
+        return _validated(features, labels, self.dtype, f"npz dataset {self.path}")
+
+
+#: kind -> source class.  Extend with :func:`register_source`.
+_REGISTRY: dict[str, type[DatasetSource]] = {}
+
+
+def register_source(cls: type[DatasetSource]) -> type[DatasetSource]:
+    """Register a :class:`DatasetSource` subclass under its ``kind``."""
+    if not cls.kind:
+        raise ConfigError(f"{cls.__name__} declares no source kind")
+    if _REGISTRY.get(cls.kind, cls) is not cls:
+        raise ConfigError(f"dataset source kind {cls.kind!r} is already registered")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+register_source(CsvSource)
+register_source(NpzSource)
+
+
+def source_kinds() -> tuple[str, ...]:
+    """The registered manifest ``kind`` strings, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def build_source(kind: str, **params) -> DatasetSource:
+    """Instantiate the registered source for ``kind`` with ``params``.
+
+    Raises :class:`ConfigError` on unknown kinds or parameters the
+    source does not take — manifest typos fail loudly at build time,
+    before any file is read.
+    """
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise ConfigError(
+            f"dataset source kind {kind!r} is not one of {source_kinds()}"
+        )
+    try:
+        return cls(**params)
+    except TypeError as err:
+        raise ConfigError(f"bad {kind} dataset source parameters: {err}") from None

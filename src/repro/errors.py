@@ -23,6 +23,19 @@ class DataError(ReproError):
     """Malformed or inconsistent dataset."""
 
 
+class IncompleteCampaignError(DataError):
+    """A batch merge found task results missing from the output directory.
+
+    ``missing`` maps each affected job name to the sorted list of task
+    identities with no recorded result — exactly what ``fannet batch
+    status`` reports and what ``fannet batch run --resume`` re-executes.
+    """
+
+    def __init__(self, message: str, missing: dict[str, list[str]] | None = None):
+        super().__init__(message)
+        self.missing = missing or {}
+
+
 class SmvSyntaxError(ReproError):
     """Lexical or grammatical error in an SMV source text."""
 

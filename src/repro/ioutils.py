@@ -1,0 +1,38 @@
+"""Small shared I/O helpers.
+
+One home for the atomic-write pattern the persistence planes (cache
+store, shard result files, campaign ledgers) all rely on: their
+durability arguments are only as good as the write discipline, so the
+discipline lives exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: str | os.PathLike, blob: bytes) -> Path:
+    """Write ``blob`` to ``path`` via a same-directory temp file + rename.
+
+    A reader racing the writer sees either the old file or the new one,
+    never a torn mix, and a crash mid-write leaves the target untouched
+    (the orphaned temp file is unlinked on every failure path that still
+    runs).  Concurrent writers degrade to last-writer-wins.
+    """
+    path = Path(path)
+    fd, temp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path

@@ -55,6 +55,13 @@ from .fingerprint import (
     runtime_context,
     verifier_fingerprint,
 )
+from .lifecycle import (
+    PruneReport,
+    StoreFileInfo,
+    inspect_cache_file,
+    prune_cache_dir,
+    scan_cache_dir,
+)
 from .runner import QueryRunner, RunnerStats
 from .store import CacheStore, CacheStoreWarning
 from .tasks import ExtractionTask, ProbeTask, ToleranceSearchTask
@@ -70,6 +77,11 @@ __all__ = [
     "CacheStore",
     "CacheStoreWarning",
     "MISS",
+    "PruneReport",
+    "StoreFileInfo",
+    "inspect_cache_file",
+    "prune_cache_dir",
+    "scan_cache_dir",
     "make_key",
     "derive_seed",
     "network_fingerprint",

@@ -49,9 +49,24 @@ def verifier_fingerprint(config: VerifierConfig) -> str:
     return digest.hexdigest()[:20]
 
 
-def runtime_context(network: QuantizedNetwork, config: VerifierConfig) -> str:
-    """Combined cache context: network fingerprint + verifier fingerprint."""
-    return f"{network_fingerprint(network)}:{verifier_fingerprint(config)}"
+def runtime_context(
+    network: QuantizedNetwork,
+    config: VerifierConfig,
+    data_digest: str | None = None,
+) -> str:
+    """Combined cache context: network fingerprint + verifier fingerprint.
+
+    ``data_digest`` (the content digest of an external dataset source,
+    see :mod:`repro.data.sources`) folds a third component in: jobs over
+    different source files — or different parses of the same file —
+    must never share a persisted cache context, even when network and
+    budget coincide, so a changed file invalidates the store exactly
+    like a changed network would.
+    """
+    base = f"{network_fingerprint(network)}:{verifier_fingerprint(config)}"
+    if data_digest is None:
+        return base
+    return f"{base}:{data_digest[:20]}"
 
 
 def derive_seed(base_seed: int, index: int) -> int:

@@ -117,16 +117,21 @@ class QueryRunner:
         verifier=None,
         cache: QueryCache | None = None,
         store: CacheStore | None = None,
+        data_digest: str | None = None,
     ):
         self.network = network
         self.config = config or VerifierConfig()
         self.runtime = runtime or RuntimeConfig()
         self._fixed_verifier = verifier
+        #: Content digest of an external dataset source (None for the
+        #: case-study splits): part of the cache context, so results over
+        #: one file revision never warm-start an analysis over another.
+        self.data_digest = data_digest
         if cache is None:
             cache_cls = MonotoneCache if self.runtime.monotone else QueryCache
             cache = cache_cls(enabled=self.runtime.cache)
         self.cache = cache
-        self.cache.bind(runtime_context(network, self.config))
+        self.cache.bind(runtime_context(network, self.config, data_digest))
         self.engine_stats = EngineStats()
         self.store = store
         if self.store is None and self.runtime.persistence_enabled:
@@ -555,6 +560,7 @@ class QueryRunner:
                 frontier=self.runtime.frontier,
                 batch_size=self.runtime.batch_size,
                 engine_stats=self.engine_stats.snapshot(),
+                data_digest=self.data_digest,
             )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.runtime.workers,
@@ -588,6 +594,16 @@ class QueryRunner:
         if saved is not None:
             self.cache.added.clear()
             self._persisted_stats = stats
+            if self.runtime.max_cache_bytes is not None:
+                # Size-bound the directory, but never evict the context
+                # this run is writing — only colder neighbours age out.
+                from .lifecycle import prune_cache_dir
+
+                prune_cache_dir(
+                    self.store.directory,
+                    self.runtime.max_cache_bytes,
+                    keep={saved},
+                )
 
     def close(self) -> None:
         """Flush the disk store and shut the worker pool down."""
@@ -624,6 +640,7 @@ class _WorkerContext:
     frontier: bool = True
     batch_size: int = 4096
     engine_stats: dict = field(default_factory=dict)
+    data_digest: str | None = None
 
 
 @dataclass
@@ -660,6 +677,7 @@ def _run_task(task) -> _TaskOutcome:
             batch_size=context.batch_size,
         ),
         verifier=context.verifier,
+        data_digest=context.data_digest,
     )
     # Scheduling prior: the parent's stage statistics at pool start.
     # Only the delta ships back, so nothing is double-counted on merge.

@@ -49,11 +49,11 @@ import hashlib
 import io
 import os
 import pickle
-import tempfile
 import warnings
 from pathlib import Path
 from typing import Any
 
+from ..ioutils import atomic_write_bytes
 from .cache import QueryKey
 
 #: Leading bytes of every cache file; anything else is not ours.
@@ -64,8 +64,12 @@ MAGIC = b"FANNET-QCACHE\n"
 #: discarded.  Version 2: the random falsifier's sampling stream changed
 #: (one broadcast draw per block instead of per-dimension draws), so
 #: witnesses cached by version-1 code would make a warm replay diverge
-#: from a cold run of the current code.
-STORE_VERSION = 2
+#: from a cold run of the current code.  Version 3: the extraction
+#: collector's seed derivation moved from the run-wide base seed to the
+#: per-input ``(seed, index)`` contract, so solver-driven "extract"
+#: entries cached by version-2 code would serve old-stream vector sets
+#: that a cold run of the current code cannot reproduce.
+STORE_VERSION = 3
 
 _LEN_BYTES = 8
 
@@ -119,6 +123,37 @@ def _warn(message: str) -> None:
     warnings.warn(message, CacheStoreWarning, stacklevel=3)
 
 
+def parse_store_blob(raw: bytes) -> tuple[dict | None, bytes | None, str | None]:
+    """Split a raw cache-file blob into ``(header, payload, error)``.
+
+    The one place the binary layout (magic, length-prefixed restricted-
+    pickle header, payload) is parsed — :meth:`CacheStore._decode` and
+    the lifecycle tooling (:mod:`repro.runtime.lifecycle`) both build on
+    it.  Verifies structure and the header's payload checksum; does NOT
+    unpickle the payload (the caller decides whether to trust it).  On
+    any problem returns ``(None, None, reason)``.
+    """
+    if not raw.startswith(MAGIC):
+        return None, None, "no FANNet cache header"
+    body = raw[len(MAGIC):]
+    if len(body) < _LEN_BYTES:
+        return None, None, "truncated before the header length"
+    header_len = int.from_bytes(body[:_LEN_BYTES], "big")
+    header_blob = body[_LEN_BYTES:_LEN_BYTES + header_len]
+    payload = body[_LEN_BYTES + header_len:]
+    if len(header_blob) < header_len:
+        return None, None, "truncated inside the header"
+    try:
+        header = _restricted_loads(header_blob)
+    except Exception as err:
+        return None, None, f"corrupt header ({err!r})"
+    if not isinstance(header, dict):
+        return None, None, "malformed header"
+    if hashlib.sha256(payload).hexdigest() != header.get("checksum"):
+        return None, None, "payload failed its checksum (truncated?)"
+    return header, payload, None
+
+
 class CacheStore:
     """Per-context cache files under one directory.
 
@@ -162,26 +197,9 @@ class CacheStore:
         return entries
 
     def _decode(self, path: Path, raw: bytes, context: str) -> dict[QueryKey, Any]:
-        if not raw.startswith(MAGIC):
-            _warn(f"cache file {path} has no FANNet cache header; ignoring it")
-            return {}
-        body = raw[len(MAGIC):]
-        if len(body) < _LEN_BYTES:
-            _warn(f"cache file {path} is truncated; starting cold")
-            return {}
-        header_len = int.from_bytes(body[:_LEN_BYTES], "big")
-        header_blob = body[_LEN_BYTES:_LEN_BYTES + header_len]
-        payload = body[_LEN_BYTES + header_len:]
-        if len(header_blob) < header_len:
-            _warn(f"cache file {path} is truncated; starting cold")
-            return {}
-        try:
-            header = _restricted_loads(header_blob)
-        except Exception as err:
-            _warn(f"cache file {path} header is corrupt ({err!r}); starting cold")
-            return {}
-        if not isinstance(header, dict):
-            _warn(f"cache file {path} has a malformed header; starting cold")
+        header, payload, error = parse_store_blob(raw)
+        if header is None:
+            _warn(f"cache file {path}: {error}; starting cold")
             return {}
         if header.get("version") != STORE_VERSION:
             _warn(
@@ -194,9 +212,6 @@ class CacheStore:
                 f"cache file {path} was written for context "
                 f"{header.get('context')!r}, not {context!r}; starting cold"
             )
-            return {}
-        if hashlib.sha256(payload).hexdigest() != header.get("checksum"):
-            _warn(f"cache file {path} failed its checksum (truncated?); starting cold")
             return {}
         try:
             entries = _restricted_loads(payload)
@@ -248,19 +263,7 @@ class CacheStore:
         blob = MAGIC + len(header).to_bytes(_LEN_BYTES, "big") + header + payload
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(
-                prefix=path.name + ".", suffix=".tmp", dir=self.directory
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(temp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
+            atomic_write_bytes(path, blob)
         except OSError as err:
             _warn(f"could not persist cache to {path} ({err}); continuing without")
             return None

@@ -16,20 +16,46 @@ runtime:
   partition with zero coordination;
 - :mod:`repro.service.service` — :class:`BatchService`: executes one
   shard through per-context :class:`~repro.runtime.QueryRunner`s (one
-  cache context per network × verifier config, persisted via the
-  existing :class:`~repro.runtime.store.CacheStore`), writes per-job
-  JSON shard files, and merges any complete shard set into one
-  aggregate :class:`~repro.analysis.records.ExperimentRecord` —
-  **bit-identical for every shard layout**.
+  cache context per network × verifier config × dataset digest,
+  persisted via the existing :class:`~repro.runtime.store.CacheStore`),
+  writes per-job JSON shard files, and merges any complete shard set
+  into one aggregate :class:`~repro.analysis.records.ExperimentRecord`
+  — **bit-identical for every shard layout**;
+- :mod:`repro.service.ledger` — :class:`CampaignLedger`: per-shard
+  completion bookkeeping (outcome digests + context fingerprints) that
+  makes campaigns crash-tolerant: ``BatchService.status`` names exactly
+  the missing/corrupt/stale task identities in an output directory and
+  ``run_shard(resume=True)`` re-executes only that gap, with the
+  resumed merge byte-identical to an uninterrupted run.
 
-CLI: ``fannet batch plan | run | merge`` (see :mod:`repro.cli`).
+Manifests name datasets beyond the case-study splits through the
+:class:`~repro.service.spec.DataSourceSpec` section (CSV/NPZ feature
+files, see :mod:`repro.data.sources`); the source's content digest is
+folded into every task identity and cache context.
+
+CLI: ``fannet batch plan | run [--resume] | status | merge``
+(see :mod:`repro.cli`).
 """
 
+from .ledger import (
+    LEDGER_FORMAT_VERSION,
+    CampaignLedger,
+    ledger_file_name,
+    outcome_digest,
+)
 from .planner import BatchPlanner, PlannedJob, PlannedTask, shard_of
-from .service import SHARD_FORMAT_VERSION, BatchService, shard_file_name
+from .service import (
+    SHARD_FORMAT_VERSION,
+    BatchService,
+    CampaignStatus,
+    JobStatus,
+    ShardRunReport,
+    shard_file_name,
+)
 from .spec import (
     MANIFEST_VERSION,
     BatchSpec,
+    DataSourceSpec,
     DatasetSpec,
     ExtractionSpec,
     JobSpec,
@@ -42,16 +68,24 @@ __all__ = [
     "BatchPlanner",
     "BatchService",
     "BatchSpec",
+    "CampaignLedger",
+    "CampaignStatus",
+    "DataSourceSpec",
     "DatasetSpec",
     "ExtractionSpec",
     "JobSpec",
+    "JobStatus",
+    "LEDGER_FORMAT_VERSION",
     "MANIFEST_VERSION",
     "NetworkSpec",
     "PlannedJob",
     "PlannedTask",
     "ProbeSpec",
     "SHARD_FORMAT_VERSION",
+    "ShardRunReport",
     "ToleranceSpec",
+    "ledger_file_name",
+    "outcome_digest",
     "shard_file_name",
     "shard_of",
 ]

@@ -1,0 +1,182 @@
+"""The campaign ledger: per-shard bookkeeping that makes campaigns resumable.
+
+On real fleets shards die — OOM-killed workers, pre-empted machines,
+truncated writes.  The shard result files alone cannot distinguish "this
+task was never attempted" from "this result survived intact", so every
+``fannet batch run`` invocation additionally maintains one **ledger**
+file per (batch, shard) under the output directory::
+
+    <batch>.shard-<i>-of-<N>.ledger.json
+    {
+      "format": 1,
+      "batch": "seed-sweep",
+      "shard": [1, 2],
+      "contexts": {"seed7": "<network:verifier[:data] fingerprint>"},
+      "tasks": {
+        "seed7/tolerance/i10": {"job": "seed7", "digest": "<sha-256>"}
+      }
+    }
+
+Each task entry records the SHA-256 of the *canonical JSON rendering* of
+its outcome — the exact bytes-level form the shard result file stores —
+plus the job's runtime-context fingerprint.  That gives the resume and
+status planes three independent checks per identity:
+
+- **missing** — planned, but no readable result in the directory;
+- **corrupt** — a result exists but its digest does not match the
+  ledger (bit-rot, a torn write, or a hand-edited file);
+- **stale** — the recorded context fingerprint differs from the current
+  plan's (the network file, verifier budget or dataset source changed
+  under the same manifest).
+
+``fannet batch run --resume`` re-executes exactly the union of those
+three sets and trusts the rest, which is what makes an interrupted →
+resumed campaign merge *bit-identical* to an uninterrupted one.  The
+ledger is advisory, never authority: a missing or unreadable ledger
+simply means nothing can be trusted, and resume re-executes everything
+(correct, just slower).  Writes are atomic and happen after every job,
+so a shard killed mid-campaign keeps the ledger for every job it
+finished.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import DataError
+from ..ioutils import atomic_write_bytes
+
+#: Version stamp of the ledger files.
+LEDGER_FORMAT_VERSION = 1
+
+
+def ledger_file_name(batch: str, shard_index: int, shard_count: int) -> str:
+    """Ledger file for one shard invocation (1-based display, like shards)."""
+    return f"{batch}.shard-{shard_index + 1}-of-{shard_count}.ledger.json"
+
+
+def outcome_digest(outcome) -> str:
+    """SHA-256 over the canonical JSON rendering of one task outcome.
+
+    Computed on the JSON-shaped value (tuples already turned to lists),
+    so digesting a freshly-computed outcome and digesting the same
+    outcome re-parsed from a shard file agree byte for byte.
+    """
+    canon = json.dumps(outcome, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CampaignLedger:
+    """Completion bookkeeping of one (batch, shard) invocation."""
+
+    batch: str
+    shard: tuple[int, int]  # 1-based (index, count), matching shard files
+    contexts: dict[str, str] = field(default_factory=dict)  # job -> context
+    tasks: dict[str, dict] = field(default_factory=dict)  # identity -> entry
+
+    def record(self, job: str, context: str, identity: str, outcome) -> None:
+        """Note one completed task (outcome in its JSON-shaped form)."""
+        self.contexts[job] = context
+        self.tasks[identity] = {"job": job, "digest": outcome_digest(outcome)}
+
+    def verdict(self, identity: str, job: str, context: str, outcome) -> str:
+        """Classify a recorded result: ``ok`` | ``corrupt`` | ``stale`` | ``unknown``.
+
+        ``outcome`` is the JSON-shaped result found in the shard file;
+        ``context`` is the *current plan's* fingerprint for ``job``.
+        ``unknown`` means the ledger has no entry for the identity (it
+        cannot vouch either way — resume re-executes).
+        """
+        entry = self.tasks.get(identity)
+        if not isinstance(entry, dict) or "digest" not in entry:
+            return "unknown"
+        if self.contexts.get(job) != context:
+            return "stale"
+        if entry["digest"] != outcome_digest(outcome):
+            return "corrupt"
+        return "ok"
+
+    # -- (de)serialisation -------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "format": LEDGER_FORMAT_VERSION,
+            "batch": self.batch,
+            "shard": list(self.shard),
+            "contexts": dict(sorted(self.contexts.items())),
+            "tasks": {k: self.tasks[k] for k in sorted(self.tasks)},
+        }
+
+    def save(self, out_dir: str | os.PathLike) -> Path:
+        """Atomically (re)write this shard's ledger file."""
+        out_dir = Path(out_dir)
+        path = out_dir / ledger_file_name(self.batch, self.shard[0] - 1, self.shard[1])
+        blob = json.dumps(self.to_payload(), indent=2, sort_keys=True)
+        return atomic_write_bytes(path, blob.encode("utf-8"))
+
+    @classmethod
+    def from_payload(cls, payload) -> "CampaignLedger":
+        """Strictly validate a parsed ledger payload (raises DataError)."""
+        if not isinstance(payload, dict):
+            raise DataError("ledger payload is not a mapping")
+        if payload.get("format") != LEDGER_FORMAT_VERSION:
+            raise DataError(
+                f"ledger format {payload.get('format')!r} is unsupported "
+                f"(this build reads {LEDGER_FORMAT_VERSION})"
+            )
+        batch = payload.get("batch")
+        shard = payload.get("shard")
+        contexts = payload.get("contexts")
+        tasks = payload.get("tasks")
+        if not isinstance(batch, str) or not batch:
+            raise DataError("ledger has no batch name")
+        if (
+            not isinstance(shard, list)
+            or len(shard) != 2
+            or not all(isinstance(v, int) for v in shard)
+        ):
+            raise DataError("ledger shard must be [index, count]")
+        if not isinstance(contexts, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in contexts.items()
+        ):
+            raise DataError("ledger contexts must map job names to fingerprints")
+        if not isinstance(tasks, dict):
+            raise DataError("ledger tasks must be a mapping")
+        for identity, entry in tasks.items():
+            if (
+                not isinstance(entry, dict)
+                or not isinstance(entry.get("job"), str)
+                or not isinstance(entry.get("digest"), str)
+            ):
+                raise DataError(
+                    f"ledger entry for task {identity!r} is malformed"
+                )
+        return cls(
+            batch=batch,
+            shard=(shard[0], shard[1]),
+            contexts=dict(contexts),
+            tasks=dict(tasks),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CampaignLedger | None":
+        """Read a ledger file; ``None`` when absent or unusable.
+
+        The ledger is an optimisation: any unreadable, unparsable or
+        malformed file degrades to "no ledger" (resume trusts nothing),
+        never to an exception on the resume path.
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        try:
+            return cls.from_payload(payload)
+        except DataError:
+            return None

@@ -71,13 +71,27 @@ class PlannedJob:
     spec: JobSpec
     network: Any  # QuantizedNetwork
     dataset: Dataset  # the selected slice (rows in index order)
-    indices: tuple[int, ...]  # split-absolute row indices of the slice
+    indices: tuple[int, ...]  # dataset-absolute row indices of the slice
+    data_digest: str | None = None  # external-source content digest
     tasks: list[PlannedTask] = field(default_factory=list)
     meta: dict = field(default_factory=dict)  # JSON-ready shard-file header
 
     @property
     def name(self) -> str:
         return self.spec.name
+
+    @property
+    def identity_prefix(self) -> str:
+        """Leading component of every task identity of this job.
+
+        External-source jobs embed the source's content digest, so a
+        changed file (or a different parse of the same file) changes
+        every identity — stale shard results then surface as missing/
+        stray at merge and status time instead of silently blending in.
+        """
+        if self.data_digest is None:
+            return self.spec.name
+        return f"{self.spec.name}@d{self.data_digest[:12]}"
 
     def shard_tasks(self, shard_index: int, shard_count: int) -> list[PlannedTask]:
         """This job's tasks owned by ``shard_index`` (0-based) of ``shard_count``."""
@@ -91,6 +105,7 @@ class BatchPlanner:
         self.spec = spec
         self._case_study = None
         self._networks: dict[tuple, Any] = {}
+        self._sources: dict[Any, tuple] = {}  # DataSourceSpec -> (data, digest, desc)
 
     # -- resource construction -------------------------------------------------
 
@@ -117,11 +132,33 @@ class BatchPlanner:
             self._networks[key] = quantized
         return quantized
 
-    def _dataset_for(self, job: JobSpec) -> tuple[Dataset, tuple[int, ...]]:
+    def _dataset_for(
+        self, job: JobSpec
+    ) -> tuple[Dataset, tuple[int, ...], str | None, dict | None]:
+        """The job's sliced dataset plus the source digest/description.
+
+        Case-study jobs return ``(slice, indices, None, None)``; external
+        sources additionally carry their content digest (folded into
+        task identities and the cache context) and a JSON-ready
+        description for the shard-file header.
+        """
+        if job.dataset.source is not None:
+            full, digest, described = self._source_dataset(job.dataset.source)
+            indices = job.dataset.resolve(full.num_samples)
+            return full.subset(indices), indices, digest, described
         data = self._case_study_data()
         split = data.test if job.dataset.split == "test" else data.train
         indices = job.dataset.resolve(split.num_samples)
-        return split.subset(indices), indices
+        return split.subset(indices), indices, None, None
+
+    def _source_dataset(self, spec) -> tuple[Dataset, str, dict]:
+        """Load (once per distinct source spec) an external feature file."""
+        loaded = self._sources.get(spec)
+        if loaded is None:
+            source = spec.build()
+            loaded = (source.load(), source.digest(), source.describe())
+            self._sources[spec] = loaded
+        return loaded
 
     # -- planning ---------------------------------------------------------------
 
@@ -134,14 +171,18 @@ class BatchPlanner:
 
     def _plan_job(self, job: JobSpec) -> PlannedJob:
         quantized = self._network_for(job.network)
-        dataset, indices = self._dataset_for(job)
+        dataset, indices, digest, source_desc = self._dataset_for(job)
         if quantized.num_inputs != dataset.num_features:
             raise ConfigError(
                 f"job {job.name!r}: network takes {quantized.num_inputs} inputs "
                 f"but the dataset has {dataset.num_features} features"
             )
         planned = PlannedJob(
-            spec=job, network=quantized, dataset=dataset, indices=indices
+            spec=job,
+            network=quantized,
+            dataset=dataset,
+            indices=indices,
+            data_digest=digest,
         )
 
         # The paper's convention everywhere: only correctly-classified
@@ -155,12 +196,13 @@ class BatchPlanner:
             triples.append((int(index), tuple(int(v) for v in x), true_label))
 
         name = job.name
+        prefix = planned.identity_prefix
         if job.tolerance is not None:
             for index, x, true_label in triples:
                 planned.tasks.append(
                     PlannedTask(
                         job=name,
-                        identity=f"{name}/tolerance/i{index}",
+                        identity=f"{prefix}/tolerance/i{index}",
                         task=ToleranceSearchTask(
                             index=index,
                             x=x,
@@ -175,7 +217,7 @@ class BatchPlanner:
                 planned.tasks.append(
                     PlannedTask(
                         job=name,
-                        identity=f"{name}/extract/i{index}@p{job.extraction.percent}",
+                        identity=f"{prefix}/extract/i{index}@p{job.extraction.percent}",
                         task=ExtractionTask(
                             index=index,
                             x=x,
@@ -193,7 +235,7 @@ class BatchPlanner:
                     planned.tasks.append(
                         PlannedTask(
                             job=name,
-                            identity=f"{name}/probe/n{node}.{tag}",
+                            identity=f"{prefix}/probe/n{node}.{tag}",
                             task=ProbeTask(
                                 node=node,
                                 sign=sign,
@@ -203,13 +245,25 @@ class BatchPlanner:
                         )
                     )
 
-        train_counts = self._case_study_data().train.class_counts()
+        # Bias census (Eq. 4): the trained network's class distribution.
+        # Case-study networks trained on the case-study split keep the
+        # paper's census even when they analyse external data; a file
+        # network over an external source falls back to that source's
+        # own distribution (the best census available without the
+        # original training set).
+        if job.network.kind == "case-study" or job.dataset.source is None:
+            train_counts = self._case_study_data().train.class_counts()
+        else:
+            full, _, _ = self._source_dataset(job.dataset.source)
+            train_counts = full.class_counts()
         planned.meta = {
             "job": name,
-            "context": runtime_context(quantized, job.verifier),
+            "context": runtime_context(quantized, job.verifier, digest),
             "correctly_classified": len(triples),
             "sliced_inputs": len(indices),
             "indices": [int(i) for i in indices],
+            "dataset_digest": digest,
+            "dataset_source": source_desc,
             "train_class_counts": {
                 str(label): int(count) for label, count in sorted(train_counts.items())
             },

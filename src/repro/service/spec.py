@@ -43,6 +43,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..config import RuntimeConfig, VerifierConfig
+from ..data.sources import SOURCE_DTYPES, DatasetSource, build_source, source_kinds
 from ..errors import ConfigError, DataError
 
 #: Manifest schema version this module reads and writes.
@@ -122,22 +123,108 @@ class NetworkSpec:
 
 
 @dataclass(frozen=True)
-class DatasetSpec:
-    """Which slice of the case-study data a job analyses.
+class DataSourceSpec:
+    """An external feature file a job analyses (see :mod:`repro.data.sources`).
 
-    Either an explicit ``indices`` tuple or a ``start``/``stop`` range
-    (half-open, like Python slicing) over the chosen split.  Indices are
-    *split-absolute*: task identities and per-input results keep them,
-    so the same input keeps the same identity across slice definitions.
+    ``kind`` selects the registered loader (``csv`` or ``npz``); the
+    remaining fields are that loader's parse parameters.  Fields that do
+    not belong to the chosen kind must stay at their defaults — a
+    manifest naming ``features_key`` on a CSV source is a typo, not a
+    preference.  Construction validates eagerly by building the source
+    (the file itself is only read at planning time).
     """
 
-    split: str = "test"
+    kind: str = "csv"
+    path: str = ""
+    label_column: str | int | None = None  # csv: name, index, or None = last
+    delimiter: str = ","  # csv
+    features_key: str = "features"  # npz
+    labels_key: str = "labels"  # npz
+    dtype: str = "int64"
+
+    #: Manifest keys each kind accepts (strict: anything else is a typo).
+    _KIND_KEYS = {
+        "csv": ("kind", "path", "label_column", "delimiter", "dtype"),
+        "npz": ("kind", "path", "features_key", "labels_key", "dtype"),
+    }
+
+    def __post_init__(self):
+        if self.kind not in source_kinds():
+            raise ConfigError(
+                f"dataset source kind {self.kind!r} is not one of {source_kinds()}"
+            )
+        if not self.path or not isinstance(self.path, str):
+            raise ConfigError(f"{self.kind} dataset source requires a 'path'")
+        foreign = {
+            "csv": (("features_key", "features"), ("labels_key", "labels")),
+            "npz": (("label_column", None), ("delimiter", ",")),
+        }[self.kind]
+        for name, default in foreign:
+            if getattr(self, name) != default:
+                raise ConfigError(
+                    f"{self.kind} dataset source does not take {name!r}"
+                )
+        self.build()  # parameter validation (no file I/O)
+
+    def source_params(self) -> dict:
+        keys = [k for k in self._KIND_KEYS[self.kind] if k != "kind"]
+        return {key: getattr(self, key) for key in keys}
+
+    def build(self) -> DatasetSource:
+        """The live :class:`DatasetSource` this spec names."""
+        return build_source(self.kind, **self.source_params())
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **self.source_params()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DataSourceSpec":
+        if not isinstance(payload, dict):
+            raise ConfigError("dataset 'source' section must be a mapping")
+        kind = payload.get("kind")
+        if kind not in cls._KIND_KEYS:
+            raise ConfigError(
+                f"dataset source kind {kind!r} is not one of {source_kinds()}"
+            )
+        _reject_unknown(payload, cls._KIND_KEYS[kind], f"{kind} dataset source")
+        if "dtype" in payload and payload["dtype"] not in SOURCE_DTYPES:
+            raise ConfigError(
+                f"dataset source dtype {payload['dtype']!r} is not one of "
+                f"{SOURCE_DTYPES}"
+            )
+        return _build(cls, payload, "dataset source")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Which data a job analyses: a case-study split or an external source.
+
+    Without ``source``, ``split`` selects one of the built-in case-study
+    splits (default ``test``).  With ``source``, the job reads an
+    external feature file (see :class:`DataSourceSpec`) and ``split``
+    must be omitted.  Either way the slice is an explicit ``indices``
+    tuple or a ``start``/``stop`` range (half-open, like Python
+    slicing).  Indices are *dataset-absolute*: task identities and
+    per-input results keep them, so the same input keeps the same
+    identity across slice definitions.
+    """
+
+    split: str | None = None
     start: int | None = None
     stop: int | None = None
     indices: tuple[int, ...] | None = None
+    source: DataSourceSpec | None = None
 
     def __post_init__(self):
-        if self.split not in DATASET_SPLITS:
+        if self.source is not None:
+            if self.split is not None:
+                raise ConfigError(
+                    "a dataset takes either a case-study 'split' or an "
+                    "external 'source', not both"
+                )
+        elif self.split is None:
+            object.__setattr__(self, "split", "test")
+        if self.split is not None and self.split not in DATASET_SPLITS:
             raise ConfigError(
                 f"dataset split {self.split!r} is not one of {DATASET_SPLITS}"
             )
@@ -158,24 +245,44 @@ class DatasetSpec:
                 raise ConfigError("dataset start/stop must be non-negative")
 
     def resolve(self, num_samples: int) -> tuple[int, ...]:
-        """The split-absolute row indices this slice selects."""
+        """The dataset-absolute row indices this slice selects."""
         if self.indices is not None:
             bad = [i for i in self.indices if i >= num_samples]
             if bad:
                 raise ConfigError(
                     f"dataset indices {bad} out of range for a "
-                    f"{num_samples}-sample {self.split} split"
+                    f"{num_samples}-sample dataset"
+                    + (f" ({self.split} split)" if self.split else "")
                 )
             return self.indices
         return tuple(range(num_samples))[self.start:self.stop]
 
+    def to_dict(self) -> dict:
+        payload: dict = {}
+        if self.source is not None:
+            payload["source"] = self.source.to_dict()
+        else:
+            payload["split"] = self.split
+        payload.update(start=self.start, stop=self.stop)
+        payload["indices"] = list(self.indices) if self.indices is not None else None
+        return payload
+
     @classmethod
     def from_dict(cls, payload: dict) -> "DatasetSpec":
-        _reject_unknown(payload, ("split", "start", "stop", "indices"), "dataset")
+        _reject_unknown(
+            payload, ("split", "start", "stop", "indices", "source"), "dataset"
+        )
+        if payload.get("split") is not None and payload.get("source") is not None:
+            raise ConfigError(
+                "a dataset takes either a case-study 'split' or an external "
+                "'source', not both"
+            )
         if "indices" in payload and payload["indices"] is not None:
             if not isinstance(payload["indices"], (list, tuple)):
                 raise ConfigError("dataset 'indices' must be a list")
             payload = dict(payload, indices=tuple(payload["indices"]))
+        if payload.get("source") is not None:
+            payload = dict(payload, source=DataSourceSpec.from_dict(payload["source"]))
         return _build(cls, payload, "dataset")
 
 
@@ -330,7 +437,7 @@ class BatchSpec:
                 {
                     "name": job.name,
                     "network": asdict(job.network),
-                    "dataset": asdict(job.dataset),
+                    "dataset": job.dataset.to_dict(),
                     "verifier": asdict(job.verifier),
                     "analyses": analyses,
                 }

@@ -1,0 +1,417 @@
+"""Fault-injection suite for resumable campaigns (ledger + status + resume).
+
+On real fleets shards die mid-campaign.  These tests actively break
+output directories — deleted and truncated shard files, corrupted ledger
+digests, stale context fingerprints, vanished ledgers — and assert the
+two load-bearing contracts:
+
+- ``BatchService.status`` names **exactly** the task identities that
+  need re-execution (missing / corrupt / stale), per job;
+- ``run_shard(resume=True)`` re-executes only that gap, and the resumed
+  campaign merges **byte-identical** to an uninterrupted run, across a
+  matrix of shard layouts and interruption histories.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import save_record
+from repro.cli import main
+from repro.errors import DataError, IncompleteCampaignError
+from repro.service import (
+    BatchService,
+    BatchSpec,
+    CampaignLedger,
+    DatasetSpec,
+    JobSpec,
+    ProbeSpec,
+    ToleranceSpec,
+    ledger_file_name,
+    outcome_digest,
+    shard_file_name,
+)
+
+#: test-split indices with known behaviour under the seed-7 network:
+#: 0 is robust at these ceilings, 10 flips at ±8%.
+ROBUST_INDEX, EARLY_FLIP = 0, 10
+
+
+def campaign(name: str = "resume") -> BatchSpec:
+    """A fast two-job campaign: tolerance searches plus cheap probes."""
+    return BatchSpec(
+        name=name,
+        jobs=(
+            JobSpec(
+                name="tol",
+                dataset=DatasetSpec(indices=(EARLY_FLIP, ROBUST_INDEX)),
+                tolerance=ToleranceSpec(ceiling=12),
+            ),
+            JobSpec(
+                name="probes",
+                dataset=DatasetSpec(indices=(ROBUST_INDEX,)),
+                probe=ProbeSpec(ceiling=6),
+            ),
+        ),
+    )
+
+
+def run_all_shards(service, out_dir, shard_count, resume=False):
+    return [
+        service.run_shard(index, shard_count, out_dir, resume=resume)
+        for index in range(shard_count)
+    ]
+
+
+def merged_bytes(service, out_dir) -> bytes:
+    record = service.merge(out_dir)
+    target = out_dir / "merged.json"
+    save_record(record, target)
+    return target.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The uninterrupted single-shard run's merged bytes."""
+    out = tmp_path_factory.mktemp("resume-baseline")
+    service = BatchService(campaign())
+    service.run_shard(0, 1, out)
+    return merged_bytes(service, out)
+
+
+class TestLedger:
+    def test_round_trips_through_disk(self, tmp_path):
+        ledger = CampaignLedger(batch="b", shard=(1, 2))
+        ledger.record("j", "ctx", "j/tolerance/i0", {"min_flip_percent": None})
+        path = ledger.save(tmp_path)
+        assert path.name == ledger_file_name("b", 0, 2)
+        loaded = CampaignLedger.load(path)
+        assert loaded == ledger
+
+    def test_verdicts(self):
+        ledger = CampaignLedger(batch="b", shard=(1, 1))
+        outcome = {"queries": 3, "witness": [1, -2]}
+        ledger.record("j", "ctx", "j/tolerance/i0", outcome)
+        assert ledger.verdict("j/tolerance/i0", "j", "ctx", outcome) == "ok"
+        assert ledger.verdict("j/tolerance/i0", "j", "ctx", {"queries": 4}) == "corrupt"
+        assert ledger.verdict("j/tolerance/i0", "j", "other", outcome) == "stale"
+        assert ledger.verdict("j/tolerance/i9", "j", "ctx", outcome) == "unknown"
+
+    def test_digest_is_stable_across_json_round_trips(self):
+        outcome = {"witness": [3, -1], "min_flip_percent": 8, "queries": 4}
+        replayed = json.loads(json.dumps(outcome))
+        assert outcome_digest(outcome) == outcome_digest(replayed)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all",
+            json.dumps([]),
+            json.dumps({"format": 99, "batch": "b", "shard": [1, 1]}),
+            json.dumps({"format": 1, "batch": "", "shard": [1, 1]}),
+            json.dumps(
+                {
+                    "format": 1,
+                    "batch": "b",
+                    "shard": [1, 1],
+                    "contexts": {},
+                    "tasks": {"x": "no-digest"},
+                }
+            ),
+        ],
+    )
+    def test_unusable_ledgers_load_as_none(self, tmp_path, payload):
+        path = tmp_path / "bad.ledger.json"
+        path.write_text(payload)
+        assert CampaignLedger.load(path) is None
+
+    def test_missing_ledger_loads_as_none(self, tmp_path):
+        assert CampaignLedger.load(tmp_path / "absent.ledger.json") is None
+
+
+class TestStatusTriage:
+    """`batch status` names exactly what a shard death lost."""
+
+    def test_complete_directory(self, tmp_path):
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        status = service.status(tmp_path)
+        assert status.complete
+        assert status.rerun == []
+        assert [job.expected for job in status.jobs] == [10, 2]  # sorted names
+
+    def test_deleted_shard_file_names_every_lost_identity(self, tmp_path):
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        (tmp_path / shard_file_name("tol", 0, 1)).unlink()
+        status = service.status(tmp_path)
+        assert not status.complete
+        by_job = {job.job: job for job in status.jobs}
+        assert by_job["tol"].missing == [
+            f"tol/tolerance/i{ROBUST_INDEX}",
+            f"tol/tolerance/i{EARLY_FLIP}",
+        ]
+        assert by_job["probes"].complete  # the other job is untouched
+
+    def test_truncated_shard_file_counts_as_missing(self, tmp_path):
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        path = tmp_path / shard_file_name("tol", 0, 1)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        status = service.status(tmp_path)
+        assert not status.complete
+        by_job = {job.job: job for job in status.jobs}
+        assert len(by_job["tol"].missing) == 2
+        assert any("unreadable" in problem for problem in status.problems)
+
+    def test_corrupt_ledger_digest_flags_the_exact_task(self, tmp_path):
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
+        payload = json.loads(ledger_path.read_text())
+        victim = f"tol/tolerance/i{EARLY_FLIP}"
+        payload["tasks"][victim]["digest"] = "0" * 64
+        ledger_path.write_text(json.dumps(payload))
+        status = service.status(tmp_path)
+        by_job = {job.job: job for job in status.jobs}
+        assert by_job["tol"].corrupt == [victim]
+        assert f"tol/tolerance/i{ROBUST_INDEX}" in by_job["tol"].done
+
+    def test_stale_ledger_context_flags_the_jobs_tasks(self, tmp_path):
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
+        payload = json.loads(ledger_path.read_text())
+        payload["contexts"]["tol"] = "deadbeef:cafebabe"
+        ledger_path.write_text(json.dumps(payload))
+        status = service.status(tmp_path)
+        by_job = {job.job: job for job in status.jobs}
+        assert len(by_job["tol"].stale) == 2
+        assert by_job["probes"].complete
+
+    def test_stale_shard_header_flags_every_result_in_the_file(self, tmp_path):
+        """A changed network/dataset under an unchanged manifest shows as
+        a context mismatch in the shard header, not as a silent merge."""
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        path = tmp_path / shard_file_name("tol", 0, 1)
+        payload = json.loads(path.read_text())
+        payload["job"]["context"] = "deadbeef:cafebabe"
+        path.write_text(json.dumps(payload))
+        status = service.status(tmp_path)
+        by_job = {job.job: job for job in status.jobs}
+        assert len(by_job["tol"].stale) == 2
+        with pytest.raises(DataError, match="header does not match"):
+            service.merge(tmp_path)
+
+    def test_status_staleness_matches_the_merge_gate_exactly(self, tmp_path):
+        """Regression: status compared only the context fingerprint while
+        merge required full header equality, so a header divergence with
+        an unchanged context (e.g. a moved source file) passed status and
+        failed merge."""
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        path = tmp_path / shard_file_name("tol", 0, 1)
+        payload = json.loads(path.read_text())
+        payload["job"]["sliced_inputs"] = 99  # context untouched
+        path.write_text(json.dumps(payload))
+        status = service.status(tmp_path)
+        assert not status.complete
+        assert len(status.rerun) == 2  # the remedy is actionable
+        with pytest.raises(DataError, match="header does not match"):
+            service.merge(tmp_path)
+        # And --resume actually repairs it.
+        service.run_shard(0, 1, tmp_path, resume=True)
+        assert service.status(tmp_path).complete
+        service.merge(tmp_path)
+
+    def test_foreign_campaigns_are_ignored(self, tmp_path):
+        BatchService(campaign(name="other")).run_shard(0, 1, tmp_path)
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        assert service.status(tmp_path).complete
+
+    def test_disagreeing_shard_files_block_completeness(self, tmp_path):
+        """Regression: status must never green-light a directory merge
+        rejects — conflicting duplicate results are a problem, not
+        'done'."""
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        path = tmp_path / shard_file_name("tol", 0, 1)
+        payload = json.loads(path.read_text())
+        identity = f"tol/tolerance/i{EARLY_FLIP}"
+        payload["results"][identity] = dict(
+            payload["results"][identity], queries=999
+        )
+        payload["shard"] = [1, 2]
+        (tmp_path / shard_file_name("tol", 0, 2)).write_text(json.dumps(payload))
+        status = service.status(tmp_path)
+        assert not status.complete
+        assert any("disagree" in problem for problem in status.problems)
+        with pytest.raises(DataError, match="disagree"):
+            service.merge(tmp_path)
+
+
+class TestIncompleteMerge:
+    """Satellite regression: merge refuses partial data with a typed,
+    identity-listing error instead of a bare first-missing message."""
+
+    def test_error_lists_the_missing_identities(self, tmp_path):
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        (tmp_path / shard_file_name("tol", 0, 1)).unlink()
+        with pytest.raises(IncompleteCampaignError) as excinfo:
+            service.merge(tmp_path)
+        err = excinfo.value
+        assert err.missing == {
+            "tol": [
+                f"tol/tolerance/i{ROBUST_INDEX}",
+                f"tol/tolerance/i{EARLY_FLIP}",
+            ]
+        }
+        message = str(err)
+        assert "cannot merge an incomplete campaign" in message
+        assert f"tol/tolerance/i{EARLY_FLIP}" in message
+        assert "batch status" in message and "--resume" in message
+
+    def test_incomplete_error_is_a_data_error(self, tmp_path):
+        service = BatchService(campaign())
+        service.run_shard(0, 2, tmp_path)  # shard 2/2 never ran
+        with pytest.raises(DataError, match="missing"):
+            service.merge(tmp_path)
+
+
+class TestResumeByteIdentical:
+    """Interrupted → resumed must merge to the uninterrupted bytes."""
+
+    @pytest.mark.parametrize("shard_count", [1, 2, 3])
+    def test_killed_shard_resumes_to_identical_bytes(
+        self, tmp_path, baseline, shard_count
+    ):
+        service = BatchService(campaign())
+        run_all_shards(service, tmp_path, shard_count)
+        # Kill: delete one job's file from shard 0, truncate another's
+        # from the last shard (when the layout has one).
+        victims = 0
+        target = tmp_path / shard_file_name("tol", 0, shard_count)
+        if target.exists():
+            target.unlink()
+            victims += 1
+        other = tmp_path / shard_file_name("probes", shard_count - 1, shard_count)
+        if other.exists():
+            other.write_bytes(other.read_bytes()[:20])
+            victims += 1
+        assert victims, "fault injection found nothing to break"
+        lost = len(service.status(tmp_path).rerun)
+        reports = run_all_shards(service, tmp_path, shard_count, resume=True)
+        # Only the gap re-executed; everything else came from the ledger.
+        assert sum(report.executed for report in reports) == lost
+        assert service.status(tmp_path).complete
+        assert merged_bytes(service, tmp_path) == baseline
+
+    def test_resume_on_intact_directory_executes_nothing(self, tmp_path, baseline):
+        service = BatchService(campaign())
+        first = service.run_shard(0, 1, tmp_path)
+        assert first.executed > 0 and first.reused == 0
+        again = service.run_shard(0, 1, tmp_path, resume=True)
+        assert again.executed == 0
+        assert again.reused == first.executed
+        assert merged_bytes(service, tmp_path) == baseline
+
+    def test_resume_without_ledger_reruns_everything_identically(
+        self, tmp_path, baseline
+    ):
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        (tmp_path / ledger_file_name("resume", 0, 1)).unlink()
+        report = service.run_shard(0, 1, tmp_path, resume=True)
+        assert report.reused == 0 and report.executed > 0  # nothing vouched
+        assert merged_bytes(service, tmp_path) == baseline
+
+    def test_resume_after_ledger_corruption_reruns_only_the_victim(
+        self, tmp_path, baseline
+    ):
+        service = BatchService(campaign())
+        first = service.run_shard(0, 1, tmp_path)
+        ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
+        payload = json.loads(ledger_path.read_text())
+        victim = f"tol/tolerance/i{EARLY_FLIP}"
+        payload["tasks"][victim]["digest"] = "f" * 64
+        ledger_path.write_text(json.dumps(payload))
+        report = service.run_shard(0, 1, tmp_path, resume=True)
+        assert report.executed == 1  # exactly the corrupted task
+        assert report.reused == first.executed - 1
+        assert merged_bytes(service, tmp_path) == baseline
+
+    def test_resume_carries_prior_ledger_entries_forward(self, tmp_path):
+        """Regression: a (re-)interrupted resume's first checkpoint must
+        not clobber the vouchers for jobs it has not reached yet."""
+        service = BatchService(campaign())
+        service.run_shard(0, 1, tmp_path)
+        ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
+        payload = json.loads(ledger_path.read_text())
+        payload["tasks"]["ghost/tolerance/i99"] = {"job": "ghost", "digest": "a" * 64}
+        payload["contexts"]["ghost"] = "ghost-context"
+        ledger_path.write_text(json.dumps(payload))
+        (tmp_path / shard_file_name("tol", 0, 1)).unlink()
+        service.run_shard(0, 1, tmp_path, resume=True)
+        after = CampaignLedger.load(ledger_path)
+        # The re-run overwrote its own entries but kept the stranger's.
+        assert "ghost/tolerance/i99" in after.tasks
+        assert after.contexts["ghost"] == "ghost-context"
+        assert f"tol/tolerance/i{EARLY_FLIP}" in after.tasks
+
+    def test_partial_run_then_resume_across_two_shards(self, tmp_path, baseline):
+        """Shard 1 dies (one job lost), shard 2 never started: resume
+        shard 1, run shard 2 fresh, merge — identical bytes."""
+        service = BatchService(campaign())
+        service.run_shard(0, 2, tmp_path)
+        lost = tmp_path / shard_file_name("tol", 0, 2)
+        if lost.exists():
+            lost.unlink()
+        service.run_shard(0, 2, tmp_path, resume=True)
+        service.run_shard(1, 2, tmp_path)
+        assert merged_bytes(service, tmp_path) == baseline
+
+
+class TestStatusCli:
+    def _manifest(self, tmp_path) -> str:
+        path = tmp_path / "resume.json"
+        path.write_text(json.dumps(campaign().to_dict()))
+        return str(path)
+
+    def test_status_exit_codes_and_listing(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path)
+        out_dir = str(tmp_path / "out")
+        assert main(["batch", "run", manifest, "--out", out_dir]) == 0
+        assert main(["batch", "status", manifest, out_dir]) == 0
+        assert "complete" in capsys.readouterr().out
+        (tmp_path / "out" / shard_file_name("tol", 0, 1)).unlink()
+        code = main(["batch", "status", manifest, out_dir])
+        printed = capsys.readouterr().out
+        assert code == 3  # incomplete is a distinct, scriptable exit
+        assert "INCOMPLETE" in printed
+        assert f"tol/tolerance/i{EARLY_FLIP}" in printed
+        assert "--resume" in printed
+
+    def test_status_json_payload(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path)
+        out_dir = str(tmp_path / "out")
+        assert main(["batch", "run", manifest, "--out", out_dir]) == 0
+        target = tmp_path / "status.json"
+        assert main(["batch", "status", manifest, out_dir, "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["complete"] is True
+        assert {job["job"] for job in payload["jobs"]} == {"tol", "probes"}
+
+    def test_run_resume_flag_round_trip(self, tmp_path, capsys):
+        manifest = self._manifest(tmp_path)
+        out_dir = str(tmp_path / "out")
+        assert main(["batch", "run", manifest, "--out", out_dir]) == 0
+        capsys.readouterr()
+        assert main(["batch", "run", manifest, "--out", out_dir, "--resume"]) == 0
+        printed = capsys.readouterr().out
+        assert "0 task(s) executed" in printed
+        assert "(resume)" in printed

@@ -117,3 +117,132 @@ class TestCliCachePersistence:
             out = self._tolerance(capsys, "--cache-dir", str(cache_dir))
         assert "0 entries loaded" in out
         assert "runner: 0 verifier calls" not in out  # genuinely re-solved
+
+
+class TestCliCacheLifecycle:
+    """`fannet cache list|inspect|prune`: golden output and exit codes."""
+
+    @staticmethod
+    def _store_files(tmp_path, contexts=("aaaa1111:bbbb2222", "cccc3333:dddd4444")):
+        """Real store files with strictly increasing mtimes, oldest first."""
+        import os
+
+        from repro.runtime import CacheStore, make_key
+
+        store = CacheStore(tmp_path)
+        paths = []
+        for offset, context in enumerate(contexts):
+            entries = {
+                make_key("verify", i, (1, 2), 0, 5): f"verdict-{context}-{i}"
+                for i in range(offset + 1)
+            }
+            path = store.save(context, entries)
+            os.utime(path, (1000 + offset, 1000 + offset))
+            paths.append(path)
+        return paths
+
+    def test_list_shows_contexts_entries_and_junk(self, tmp_path, capsys):
+        self._store_files(tmp_path)
+        (tmp_path / "junk.qcache").write_bytes(b"garbage")
+        (tmp_path / "unrelated.txt").write_text("not scanned")
+        assert main(["cache", "list", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "aaaa1111:bbbb2222" in out and "cccc3333:dddd4444" in out
+        assert "INVALID: no FANNet cache header" in out
+        assert "unrelated.txt" not in out  # only *.qcache is scanned
+        assert "3 cache file(s)" in out
+
+    def test_list_empty_directory(self, tmp_path, capsys):
+        assert main(["cache", "list", str(tmp_path)]) == 0
+        assert "no cache store files" in capsys.readouterr().out
+
+    def test_list_missing_directory_exits_nonzero(self, tmp_path, capsys):
+        assert main(["cache", "list", str(tmp_path / "absent")]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_inspect_prints_the_header(self, tmp_path, capsys):
+        from repro.runtime.store import STORE_VERSION
+
+        old, _ = self._store_files(tmp_path)
+        assert main(["cache", "inspect", str(old)]) == 0
+        out = capsys.readouterr().out
+        assert f"store version : {STORE_VERSION}" in out
+        assert "context       : aaaa1111:bbbb2222" in out
+        assert "entries       : 1" in out
+        assert "checksum      : ok" in out
+
+    def test_inspect_refuses_non_store_files(self, tmp_path, capsys):
+        junk = tmp_path / "junk.qcache"
+        junk.write_bytes(b"garbage")
+        assert main(["cache", "inspect", str(junk)]) == 1
+        assert "not a valid cache store file" in capsys.readouterr().err
+        assert main(["cache", "inspect", str(tmp_path / "absent.qcache")]) == 1
+        assert "not a file" in capsys.readouterr().err
+
+    def test_inspect_refuses_truncated_store_files(self, tmp_path, capsys):
+        old, _ = self._store_files(tmp_path)
+        old.write_bytes(old.read_bytes()[:-5])
+        assert main(["cache", "inspect", str(old)]) == 1
+        assert "checksum" in capsys.readouterr().err
+
+    def test_prune_dry_run_removes_nothing(self, tmp_path, capsys):
+        old, new = self._store_files(tmp_path)
+        budget = new.stat().st_size
+        code = main(
+            ["cache", "prune", str(tmp_path), "--max-cache-bytes", str(budget),
+             "--dry-run"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dry run" in out and "would evict 1 file(s)" in out
+        assert old.name in out
+        assert old.exists() and new.exists()  # nothing touched
+
+    def test_prune_honours_the_budget_lru_by_mtime(self, tmp_path, capsys):
+        old, new = self._store_files(tmp_path)
+        budget = new.stat().st_size
+        assert main(
+            ["cache", "prune", str(tmp_path), "--max-cache-bytes", str(budget)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 file(s)" in out
+        assert not old.exists()  # oldest mtime went first
+        assert new.exists()  # newest survived within budget
+
+    def test_prune_to_zero_keeps_only_non_store_files(self, tmp_path, capsys):
+        self._store_files(tmp_path)
+        junk = tmp_path / "junk.qcache"
+        junk.write_bytes(b"garbage")
+        note = tmp_path / "README.txt"
+        note.write_text("docs")
+        assert main(["cache", "prune", str(tmp_path), "--max-cache-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 2 file(s)" in out
+        assert "skipped (not a store file): junk.qcache" in out
+        assert list(tmp_path.glob("*.qcache")) == [junk]  # junk survives
+        assert junk.exists() and note.exists()
+
+    def test_prune_missing_directory_exits_nonzero(self, tmp_path, capsys):
+        assert main(
+            ["cache", "prune", str(tmp_path / "absent"), "--max-cache-bytes", "0"]
+        ) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_flush_time_pruning_never_evicts_the_live_context(
+        self, tmp_path, capsys
+    ):
+        """`--max-cache-bytes 0` on a run: every *other* context ages
+        out at flush, but the context the run itself just wrote survives
+        its own eviction pass."""
+        import os
+
+        cache_dir = tmp_path / "qcache"
+        (old,) = self._store_files(cache_dir, contexts=("dead0000:beef0000",))
+        os.utime(old, (1, 1))  # archaeologically old
+        assert main(
+            ["tolerance", "--ceiling", "5", "--cache-dir", str(cache_dir),
+             "--max-cache-bytes", "0"]
+        ) == 0
+        survivors = list(cache_dir.glob("*.qcache"))
+        assert old not in survivors  # the cold neighbour was evicted
+        assert len(survivors) == 1  # the live run's own context was not

@@ -1,0 +1,408 @@
+"""Dataset-source tests: CSV/NPZ round trips, digests, typed failures.
+
+Property-based round trips (hypothesis): any generated integer feature
+matrix written as CSV or NPZ loads back exactly, with a content digest
+that is stable across loads, independent of file location, and
+sensitive to every byte of content *and* every parse parameter.
+
+Malformed files — ragged rows, non-integer cells, missing labels or
+archive members, dtype overflows — must raise the library's typed
+validation errors (:class:`DataError` / :class:`ConfigError`), never a
+bare numpy/csv internal.
+
+The service-level tests close the loop: a manifest naming a CSV source
+plans tasks whose identities embed the digest, runs end to end, hits
+the persistent cache across re-runs, and invalidates everything when
+the file changes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data import CsvSource, NpzSource, build_source, source_kinds
+from repro.errors import ConfigError, DataError
+from repro.service import (
+    BatchService,
+    BatchSpec,
+    DataSourceSpec,
+    DatasetSpec,
+    JobSpec,
+    ToleranceSpec,
+)
+
+# -- generators -----------------------------------------------------------------
+
+dims = st.tuples(st.integers(1, 6), st.integers(1, 4))
+
+
+@st.composite
+def int_datasets(draw):
+    rows, cols = draw(dims)
+    features = draw(
+        st.lists(
+            st.lists(st.integers(-999, 999), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    labels = draw(st.lists(st.integers(0, 3), min_size=rows, max_size=rows))
+    return np.asarray(features, dtype=np.int64), np.asarray(labels, dtype=np.int64)
+
+
+def write_csv(path, features, labels, header=None, label_at=None):
+    rows = []
+    if header is not None:
+        rows.append(",".join(header))
+    for x, y in zip(features.tolist(), labels.tolist()):
+        cells = [str(v) for v in x]
+        cells.insert(label_at if label_at is not None else len(cells), str(y))
+        rows.append(",".join(cells))
+    path.write_text("\n".join(rows) + "\n")
+
+
+# -- property-based round trips -------------------------------------------------
+
+
+class TestRoundTrips:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=int_datasets())
+    def test_csv_round_trip_and_stable_digest(self, tmp_path, data):
+        features, labels = data
+        path = tmp_path / "data.csv"
+        write_csv(path, features, labels)
+        source = CsvSource(str(path))
+        loaded = source.load()
+        assert loaded.features.tolist() == features.tolist()
+        assert loaded.labels.tolist() == labels.tolist()
+        # Digest: stable across loads and across identical re-writes.
+        digest = source.digest()
+        assert digest == CsvSource(str(path)).digest()
+        write_csv(path, features, labels)
+        assert digest == CsvSource(str(path)).digest()
+        # ... location-independent for the same bytes ...
+        moved = tmp_path / "elsewhere.csv"
+        moved.write_bytes(path.read_bytes())
+        assert CsvSource(str(moved)).digest() == digest
+        # ... and sensitive to content and parse parameters.
+        write_csv(path, features, (labels + 1))
+        assert CsvSource(str(path)).digest() != digest
+        if features.shape[1] > 1:
+            write_csv(path, features, labels)
+            assert CsvSource(str(path), label_column=0).digest() != digest
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=int_datasets())
+    def test_csv_header_and_named_label_column(self, tmp_path, data):
+        features, labels = data
+        path = tmp_path / "data.csv"
+        header = [f"g{i}" for i in range(features.shape[1])] + ["label"]
+        # Label written first, named by header: order must not matter.
+        write_csv(path, features, labels, header=["label"] + header[:-1], label_at=0)
+        loaded = CsvSource(str(path), label_column="label").load()
+        assert loaded.features.tolist() == features.tolist()
+        assert loaded.labels.tolist() == labels.tolist()
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(data=int_datasets())
+    def test_npz_round_trip_and_stable_digest(self, tmp_path, data):
+        features, labels = data
+        path = tmp_path / "data.npz"
+        np.savez(path, features=features, labels=labels)
+        source = NpzSource(str(path))
+        loaded = source.load()
+        assert loaded.features.tolist() == features.tolist()
+        assert loaded.labels.tolist() == labels.tolist()
+        assert source.digest() == NpzSource(str(path)).digest()
+        # Custom member names parse and change the digest.
+        np.savez(path, x=features, y=labels)
+        renamed = NpzSource(str(path), features_key="x", labels_key="y")
+        assert renamed.load().features.tolist() == features.tolist()
+        assert renamed.digest() != source.digest()
+
+    def test_csv_and_npz_of_same_data_have_distinct_digests(self, tmp_path):
+        features = np.array([[1, 2], [3, 4]], dtype=np.int64)
+        labels = np.array([0, 1], dtype=np.int64)
+        csv_path = tmp_path / "d.csv"
+        npz_path = tmp_path / "d.npz"
+        write_csv(csv_path, features, labels)
+        np.savez(npz_path, features=features, labels=labels)
+        assert CsvSource(str(csv_path)).digest() != NpzSource(str(npz_path)).digest()
+
+
+# -- malformed files fail with typed errors -------------------------------------
+
+
+class TestMalformedCsv:
+    def _source(self, tmp_path, text, **kwargs) -> CsvSource:
+        path = tmp_path / "bad.csv"
+        path.write_text(text)
+        return CsvSource(str(path), **kwargs)
+
+    def test_ragged_rows(self, tmp_path):
+        with pytest.raises(DataError, match="ragged"):
+            self._source(tmp_path, "1,2,0\n1,2,3,0\n").load()
+
+    def test_non_integer_cell_names_row_and_column(self, tmp_path):
+        with pytest.raises(DataError, match="row 2, column 1"):
+            self._source(tmp_path, "1,2,0\n1,x,0\n").load()
+
+    def test_float_cell_violates_declared_dtype(self, tmp_path):
+        # Row 1 is integral, so it is not mistaken for a header; the
+        # fractional cell in row 2 then violates the declared dtype.
+        with pytest.raises(DataError, match="not an integer"):
+            self._source(tmp_path, "1,2,0\n1,2.5,0\n").load()
+
+    def test_empty_file(self, tmp_path):
+        with pytest.raises(DataError, match="empty"):
+            self._source(tmp_path, "").load()
+
+    def test_header_only(self, tmp_path):
+        with pytest.raises(DataError, match="no rows"):
+            self._source(tmp_path, "a,b,label\n").load()
+
+    def test_single_column_has_no_features(self, tmp_path):
+        with pytest.raises(DataError, match="at least one feature"):
+            self._source(tmp_path, "1\n2\n").load()
+
+    def test_missing_named_label_column(self, tmp_path):
+        with pytest.raises(DataError, match="no column 'label'"):
+            self._source(tmp_path, "a,b\n1,2\n", label_column="label").load()
+
+    def test_named_label_without_header(self, tmp_path):
+        with pytest.raises(DataError, match="no header row"):
+            self._source(tmp_path, "1,2\n3,4\n", label_column="label").load()
+
+    def test_label_index_out_of_range(self, tmp_path):
+        with pytest.raises(DataError, match="out of range"):
+            self._source(tmp_path, "1,2,0\n", label_column=7).load()
+
+    def test_negative_labels(self, tmp_path):
+        with pytest.raises(DataError, match="non-negative"):
+            self._source(tmp_path, "1,2,-1\n").load()
+
+    def test_int16_overflow(self, tmp_path):
+        with pytest.raises(DataError, match="exceed the declared dtype"):
+            self._source(tmp_path, "1,70000,0\n", dtype="int16").load()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError, match="cannot read"):
+            CsvSource(str(tmp_path / "absent.csv")).load()
+
+    def test_non_utf8_bytes(self, tmp_path):
+        path = tmp_path / "latin1.csv"
+        path.write_bytes(b"1,2,0\n1,\xff,0\n")
+        with pytest.raises(DataError, match="not valid UTF-8"):
+            CsvSource(str(path)).load()
+
+
+class TestMalformedNpz:
+    def test_missing_member_names_the_alternatives(self, tmp_path):
+        path = tmp_path / "d.npz"
+        np.savez(path, feats=np.eye(2, dtype=np.int64), labels=np.zeros(2, np.int64))
+        with pytest.raises(DataError, match="no array 'features'.*feats"):
+            NpzSource(str(path)).load()
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "d.npz"
+        path.write_bytes(b"certainly not a zip")
+        with pytest.raises(DataError, match="not a readable .npz"):
+            NpzSource(str(path)).load()
+
+    def test_float_features_violate_declared_dtype(self, tmp_path):
+        path = tmp_path / "d.npz"
+        np.savez(
+            path,
+            features=np.array([[1.5, 2.0]]),
+            labels=np.array([0], dtype=np.int64),
+        )
+        with pytest.raises(DataError, match="dtype float64"):
+            NpzSource(str(path)).load()
+
+    def test_shape_mismatch(self, tmp_path):
+        path = tmp_path / "d.npz"
+        np.savez(
+            path,
+            features=np.ones((3, 2), dtype=np.int64),
+            labels=np.zeros(2, dtype=np.int64),
+        )
+        with pytest.raises(DataError, match="label"):
+            NpzSource(str(path)).load()
+
+    def test_one_dimensional_features(self, tmp_path):
+        path = tmp_path / "d.npz"
+        np.savez(
+            path,
+            features=np.ones(3, dtype=np.int64),
+            labels=np.zeros(3, dtype=np.int64),
+        )
+        with pytest.raises(DataError, match="2-D"):
+            NpzSource(str(path)).load()
+
+
+class TestRegistryAndSpec:
+    def test_registry_knows_the_builtins(self):
+        assert source_kinds() == ("csv", "npz")
+        with pytest.raises(ConfigError, match="not one of"):
+            build_source("parquet", path="x")
+        with pytest.raises(ConfigError, match="parameters"):
+            build_source("csv", path="x", nonsense=1)
+
+    def test_spec_round_trips_through_manifest_dict(self, tmp_path):
+        source = DataSourceSpec(kind="csv", path="d.csv", label_column="y")
+        spec = BatchSpec(
+            name="ext",
+            jobs=(
+                JobSpec(
+                    name="j",
+                    dataset=DatasetSpec(source=source, stop=4),
+                    tolerance=ToleranceSpec(ceiling=5),
+                ),
+            ),
+        )
+        assert BatchSpec.from_dict(spec.to_dict()) == spec
+
+    def test_split_and_source_are_mutually_exclusive(self):
+        source = DataSourceSpec(kind="csv", path="d.csv")
+        with pytest.raises(ConfigError, match="not both"):
+            DatasetSpec(split="test", source=source)
+
+    def test_manifest_rejects_split_plus_source(self):
+        with pytest.raises(ConfigError, match="not both"):
+            DatasetSpec.from_dict(
+                {"split": "test", "source": {"kind": "csv", "path": "d.csv"}}
+            )
+
+    def test_kind_specific_keys_are_enforced(self):
+        with pytest.raises(ConfigError, match="does not take"):
+            DataSourceSpec(kind="csv", path="d.csv", features_key="x")
+        with pytest.raises(ConfigError, match="does not take"):
+            DataSourceSpec(kind="npz", path="d.npz", delimiter=";")
+        with pytest.raises(ConfigError, match="unknown csv dataset source"):
+            DataSourceSpec.from_dict({"kind": "csv", "path": "d", "labels_key": "y"})
+
+    def test_bad_dtype_is_rejected(self):
+        with pytest.raises(ConfigError, match="dtype"):
+            DataSourceSpec(kind="csv", path="d.csv", dtype="float64")
+        with pytest.raises(ConfigError, match="dtype"):
+            DataSourceSpec.from_dict({"kind": "csv", "path": "d", "dtype": "f8"})
+
+    def test_unknown_kind_in_manifest(self):
+        with pytest.raises(ConfigError, match="not one of"):
+            DataSourceSpec.from_dict({"kind": "hdf5", "path": "d.h5"})
+
+
+# -- service integration --------------------------------------------------------
+
+
+def case_study_csv(tmp_path, indices):
+    """A CSV holding real case-study test rows (so predictions hold)."""
+    from repro.data import load_leukemia_case_study
+
+    case_study = load_leukemia_case_study()
+    features = np.asarray(case_study.test.features)[list(indices)]
+    labels = np.asarray(case_study.test.labels)[list(indices)]
+    path = tmp_path / "slice.csv"
+    write_csv(path, features, labels)
+    return path
+
+
+def csv_campaign(path, cache_dir=None) -> BatchSpec:
+    from repro.config import RuntimeConfig
+
+    runtime = RuntimeConfig(cache_dir=str(cache_dir)) if cache_dir else RuntimeConfig()
+    return BatchSpec(
+        name="csv-camp",
+        runtime=runtime,
+        jobs=(
+            JobSpec(
+                name="ext",
+                dataset=DatasetSpec(
+                    source=DataSourceSpec(kind="csv", path=str(path))
+                ),
+                tolerance=ToleranceSpec(ceiling=10),
+            ),
+        ),
+    )
+
+
+class TestServiceIntegration:
+    def test_identities_embed_the_content_digest(self, tmp_path):
+        path = case_study_csv(tmp_path, (10, 0))
+        service = BatchService(csv_campaign(path))
+        (job,) = service.plan()
+        digest = CsvSource(str(path)).digest()
+        assert job.data_digest == digest
+        prefix = f"ext@d{digest[:12]}"
+        assert all(p.identity.startswith(prefix + "/") for p in job.tasks)
+        # Identity stability: an independent replan agrees exactly.
+        (again,) = BatchService(csv_campaign(path)).plan()
+        assert [p.identity for p in again.tasks] == [p.identity for p in job.tasks]
+        # The digest also salts the cache context.
+        assert job.meta["context"].endswith(digest[:20])
+        assert job.meta["dataset_source"]["kind"] == "csv"
+
+    def test_csv_campaign_runs_and_merges(self, tmp_path):
+        path = case_study_csv(tmp_path, (10, 0))
+        service = BatchService(csv_campaign(path))
+        service.run_shard(0, 1, tmp_path / "out")
+        record = service.merge(tmp_path / "out")
+        tolerance = record.measured["jobs"][0]["tolerance"]
+        # Row 0 of the CSV is test[10]: flips at ±8% (a fact about the
+        # network and the input values, not about their provenance).
+        assert tolerance["min_flip_percents"] == [8]
+        assert record.measured["jobs"][0]["dataset_source"]["kind"] == "csv"
+
+    def test_rerun_hits_the_persistent_cache(self, tmp_path):
+        path = case_study_csv(tmp_path, (10,))
+        cache_dir = tmp_path / "qcache"
+        out_one = tmp_path / "one"
+        out_two = tmp_path / "two"
+        BatchService(csv_campaign(path, cache_dir)).run_shard(0, 1, out_one)
+        digest = CsvSource(str(path)).digest()
+        stores = list(cache_dir.glob("*.qcache"))
+        assert len(stores) == 1
+        assert digest[:20] in stores[0].name  # digest-salted context
+        stamp = stores[0].stat().st_mtime_ns
+        # A fresh service re-running the same file answers everything
+        # from the store: a pure warm replay rewrites nothing.
+        BatchService(csv_campaign(path, cache_dir)).run_shard(0, 1, out_two)
+        assert stores[0].stat().st_mtime_ns == stamp
+        one = (out_one / "ext.shard-1-of-1.json").read_bytes()
+        two = (out_two / "ext.shard-1-of-1.json").read_bytes()
+        assert one == two
+
+    def test_edited_file_changes_identities_and_context(self, tmp_path):
+        path = case_study_csv(tmp_path, (10, 0))
+        service = BatchService(csv_campaign(path))
+        service.run_shard(0, 1, tmp_path / "out")
+        (job,) = service.plan()
+        # Edit the file: drop a row.
+        case_study_csv(tmp_path, (10,))
+        after = BatchService(csv_campaign(path))
+        (job_after,) = after.plan()
+        assert job_after.data_digest != job.data_digest
+        assert job_after.identity_prefix != job.identity_prefix
+        # The old results no longer satisfy the new plan.
+        status = after.status(tmp_path / "out")
+        assert not status.complete
+        assert status.stray  # the old digest-prefixed identities
+        with pytest.raises(DataError):
+            after.merge(tmp_path / "out")
+
+    def test_manifest_file_round_trip_via_cli_plan(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = case_study_csv(tmp_path, (10, 0))
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps(csv_campaign(path).to_dict()))
+        assert main(["batch", "plan", str(manifest)]) == 0
+        assert "csv-camp" in capsys.readouterr().out
