@@ -41,13 +41,14 @@ def save_record(record: ExperimentRecord, path: str | Path) -> None:
     :meth:`repro.service.BatchService.merge`).
     """
     Path(path).write_text(
-        json.dumps(asdict(record), indent=2, sort_keys=True, default=str)
+        json.dumps(asdict(record), indent=2, sort_keys=True, default=str),
+        encoding="utf-8",
     )
 
 
 def load_record(path: str | Path) -> ExperimentRecord:
     try:
-        payload = json.loads(Path(path).read_text())
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as err:
         raise DataError(f"not a valid experiment record: {err}") from None
     if payload.get("version") != RECORD_VERSION:

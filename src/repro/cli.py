@@ -14,6 +14,10 @@ Subcommands mirror the paper's workflow:
   killed shard lost
 - ``cache``      — lifecycle tooling over ``--cache-dir`` stores:
   ``list`` / ``inspect`` / ``prune`` (see :mod:`repro.runtime.lifecycle`)
+- ``serve``      — verification-as-a-service daemon: an HTTP/JSON job
+  queue over shared warm per-context caches (see :mod:`repro.serve`);
+  ``batch run --server URL`` executes a campaign through it with
+  byte-identical output files
 """
 
 from __future__ import annotations
@@ -202,6 +206,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate; re-execute only the missing/corrupt/stale gap (the "
         "merged report is byte-identical to an uninterrupted run)",
     )
+    batch_run.add_argument(
+        "--server", default=None, metavar="URL",
+        help="execute this shard through a running `fannet serve` daemon "
+        "instead of locally; the shard files and ledger written to --out "
+        "are byte-identical to a local run's",
+    )
     batch_run.set_defaults(handler=_cmd_batch_run)
 
     batch_status = batch_sub.add_parser(
@@ -261,6 +271,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report what would be evicted without removing anything",
     )
     cache_prune.set_defaults(handler=_cmd_cache_prune)
+
+    serve = sub.add_parser(
+        "serve",
+        help="verification-as-a-service daemon: HTTP/JSON job queue over "
+        "shared warm per-context caches (see the README's Serving section)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8414,
+        help="TCP port to listen on (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent job worker threads (jobs on the same runtime "
+        "context still serialise on its shared cache)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=16, metavar="N",
+        help="admission bound: submissions past this many queued jobs are "
+        "shed with 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--task-workers", type=int, default=1, metavar="N",
+        help="process fan-out inside each job's runner (the batch plane's "
+        "--workers knob)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the query cache (every query reaches a solver)",
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persist per-context query caches under DIR so warmth "
+        "survives daemon restarts",
+    )
+    serve.add_argument(
+        "--frontier", action=argparse.BooleanOptionalAction, default=True,
+        help="frontier-batched bulk prepass inside each runner "
+        "(results are bit-identical either way)",
+    )
+    serve.add_argument(
+        "--max-cache-bytes", type=int, default=None, metavar="BYTES",
+        help="with --cache-dir: evict oldest store files past this budget "
+        "after each flush",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 
@@ -327,7 +386,7 @@ def _cmd_run(args) -> int:
                 "test": report.test_accuracy,
             },
         }
-        args.json.write_text(json.dumps(payload, indent=2))
+        args.json.write_text(json.dumps(payload, indent=2), encoding="utf-8")
         print(f"\nJSON report written to {args.json}")
     return 0
 
@@ -480,6 +539,28 @@ def _cmd_batch_run(args) -> int:
     from .service import BatchService
 
     shard_index, shard_count = _parse_shard(args.shard)
+    if args.server is not None:
+        from .errors import ConfigError
+        from .serve import ServeClient, run_batch_shard_via_server
+        from .service import BatchSpec
+
+        if args.resume:
+            raise ConfigError(
+                "--resume is a local-execution feature; the daemon's shared "
+                "cache already makes repeats cheap — drop --resume with --server"
+            )
+        spec = BatchSpec.from_manifest(args.manifest)
+        report = run_batch_shard_via_server(
+            ServeClient(args.server), spec, shard_index, shard_count, args.out
+        )
+        print(
+            f"batch '{spec.name}' shard {shard_index + 1}/{shard_count}: "
+            f"{report.executed} task(s) executed via {args.server}, "
+            f"{len(report.written)} job file(s) written to {args.out}"
+        )
+        for path in report.written:
+            print(f"  {path}")
+        return 0
     service = BatchService.from_manifest(args.manifest)
     report = service.run_shard(
         shard_index, shard_count, args.out, resume=args.resume
@@ -536,7 +617,9 @@ def _cmd_batch_status(args) -> int:
     for problem in status.problems:
         print(f"note: {problem}")
     if args.json is not None:
-        args.json.write_text(json_module.dumps(status.to_payload(), indent=2))
+        args.json.write_text(
+            json_module.dumps(status.to_payload(), indent=2), encoding="utf-8"
+        )
         print(f"\nstatus JSON written to {args.json}")
     return 0 if status.complete else 3
 
@@ -639,6 +722,37 @@ def _cmd_cache_prune(args) -> int:
         print(f"  skipped (not a store file): {info.path.name} — {info.error}")
     for error in report.errors:
         print(f"  warning: {error}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig
+    from .serve.daemon import run
+
+    runtime = RuntimeConfig(
+        workers=args.task_workers,
+        cache=not args.no_cache,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        frontier=args.frontier,
+        max_cache_bytes=args.max_cache_bytes,
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        runtime=runtime,
+    )
+
+    def announce(server):
+        print(
+            f"fannet serve listening on {server.url} "
+            f"({config.workers} worker(s), max {config.max_pending} pending"
+            f"{', cache dir ' + str(args.cache_dir) if args.cache_dir else ''})",
+            flush=True,
+        )
+
+    run(config, announce=announce)
     return 0
 
 

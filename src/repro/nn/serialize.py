@@ -60,13 +60,15 @@ def network_from_dict(payload: dict) -> Network:
 
 def save_network(network: Network, path: str | Path) -> None:
     """Write ``network`` as JSON to ``path``."""
-    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+    Path(path).write_text(
+        json.dumps(network_to_dict(network), indent=2), encoding="utf-8"
+    )
 
 
 def load_network(path: str | Path) -> Network:
     """Load a network previously written by :func:`save_network`."""
     try:
-        payload = json.loads(Path(path).read_text())
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as err:
         raise DataError(f"not a valid network file: {err}") from None
     return network_from_dict(payload)

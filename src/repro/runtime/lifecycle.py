@@ -164,7 +164,20 @@ def inspect_cache_file(path: str | os.PathLike) -> StoreFileInfo:
 
 @dataclass
 class PruneReport:
-    """What a prune pass did (or, with ``dry_run``, would have done)."""
+    """What a prune pass did (or, with ``dry_run``, would have done).
+
+    Accounting invariants, enforced under every outcome — dry runs,
+    pinned files and unlink failures included:
+
+    - every scanned store file lands in exactly one of ``evicted`` or
+      ``kept``, so ``evicted_bytes + remaining_bytes`` equals the bytes
+      scanned;
+    - ``evicted`` contains only files actually removed (or, with
+      ``dry_run``, the exact set a real run would remove) — a file whose
+      unlink failed stays in ``kept`` with its bytes in
+      ``remaining_bytes``, and its failure never widens the eviction set
+      to newer files (the plan is fixed before the first unlink).
+    """
 
     budget: int
     dry_run: bool
@@ -175,10 +188,12 @@ class PruneReport:
 
     @property
     def evicted_bytes(self) -> int:
+        """Bytes freed (``dry_run``: bytes a real run would free)."""
         return sum(info.size for info in self.evicted)
 
     @property
     def remaining_bytes(self) -> int:
+        """Store bytes still on disk, unlink failures included."""
         return sum(info.size for info in self.kept)
 
 
@@ -207,11 +222,19 @@ def prune_cache_dir(
     )
     report.skipped = [info for info in infos if not info.ok]
     stores = [info for info in infos if info.ok]  # oldest mtime first
+    # Plan first, then execute: the eviction set is fixed from sizes
+    # alone, so a dry run reports exactly what a real run would remove,
+    # and an unlink failure mid-run never cascades into evicting newer
+    # files to compensate for bytes that cannot be freed anyway.
     total = sum(info.size for info in stores)
+    plan = []
     for info in stores:
         if total <= max_bytes or info.path.resolve() in keep:
             report.kept.append(info)
             continue
+        total -= info.size
+        plan.append(info)
+    for info in plan:
         if not dry_run:
             try:
                 info.path.unlink()
@@ -219,6 +242,5 @@ def prune_cache_dir(
                 report.errors.append(f"could not remove {info.path}: {err}")
                 report.kept.append(info)
                 continue
-        total -= info.size
         report.evicted.append(info)
     return report

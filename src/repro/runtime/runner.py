@@ -46,8 +46,9 @@ verification work.  It provides:
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -154,6 +155,13 @@ class QueryRunner:
         #: (index, x, label, node, sign) -> (checked ceiling, min flip
         #: magnitude or None): the bulk single-node probe ladders.
         self._probe_thresholds: dict = {}
+        #: Serialises flush/close and stats snapshots.  Query execution
+        #: itself is not made concurrent by this lock — a runner shared
+        #: between threads (the serve plane's per-context runner pool)
+        #: must still serialise run_tasks calls externally — but the
+        #: maintenance operations (periodic flushes, a stats endpoint
+        #: sampling a runner mid-job) are safe from any thread.
+        self._io_lock = threading.RLock()
 
     # -- engine selection -------------------------------------------------------
 
@@ -583,34 +591,51 @@ class QueryRunner:
         """
         if self.store is None or not self.cache.enabled:
             return
-        stats = self.engine_stats.snapshot()
-        if not self.cache.added and stats == self._persisted_stats:
-            return
-        saved = self.store.save(
-            self.cache.context,
-            self.cache.snapshot(),
-            engine_stats=stats,
-        )
-        if saved is not None:
-            self.cache.added.clear()
-            self._persisted_stats = stats
-            if self.runtime.max_cache_bytes is not None:
-                # Size-bound the directory, but never evict the context
-                # this run is writing — only colder neighbours age out.
-                from .lifecycle import prune_cache_dir
+        with self._io_lock:
+            stats = self.engine_stats.snapshot()
+            if not self.cache.added and stats == self._persisted_stats:
+                return
+            saved = self.store.save(
+                self.cache.context,
+                self.cache.snapshot(),
+                engine_stats=stats,
+            )
+            if saved is not None:
+                self.cache.added.clear()
+                self._persisted_stats = stats
+                if self.runtime.max_cache_bytes is not None:
+                    # Size-bound the directory, but never evict the context
+                    # this run is writing — only colder neighbours age out.
+                    from .lifecycle import prune_cache_dir
 
-                prune_cache_dir(
-                    self.store.directory,
-                    self.runtime.max_cache_bytes,
-                    keep={saved},
-                )
+                    prune_cache_dir(
+                        self.store.directory,
+                        self.runtime.max_cache_bytes,
+                        keep={saved},
+                    )
+
+    def stats_payload(self) -> dict:
+        """JSON-ready snapshot of this runner's work and cache counters.
+
+        Taken under the I/O lock so a reader sampling a shared runner
+        (the serve plane's ``/v1/stats`` endpoint) sees one consistent
+        picture rather than counters torn across a concurrent flush.
+        """
+        with self._io_lock:
+            return {
+                "context": self.cache.context,
+                "runner": asdict(self.stats),
+                "cache": asdict(self.cache.stats),
+                "cache_entries": len(self.cache),
+            }
 
     def close(self) -> None:
         """Flush the disk store and shut the worker pool down."""
         self.flush()
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._io_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __del__(self):  # best-effort cleanup; close() is the real API
         try:

@@ -1,0 +1,54 @@
+"""Verification-as-a-service plane: ``fannet serve`` and its client.
+
+The batch plane (:mod:`repro.service`) made campaigns shardable but
+still process-per-invocation: every ``fannet batch run`` pays network
+training and cache warm-up from scratch, and two concurrent invocations
+on the same context cannot share engine-proved verdicts.  This package
+turns the runtime into a long-lived daemon so concurrent clients
+multiplex onto shared warm per-context caches:
+
+- :mod:`repro.serve.http` — a minimal, auditable stdlib HTTP/1.1 layer
+  (strict limits, JSON responses, NDJSON streaming);
+- :mod:`repro.serve.jobs` — job lifecycle + the admission-controlled
+  queue (bounded pending set; overload is shed with 429/``Retry-After``
+  at the door, O(1));
+- :mod:`repro.serve.runners` — the per-runtime-context
+  :class:`~repro.runtime.QueryRunner` pool (same-context jobs
+  serialise on a lease lock; distinct contexts run in parallel);
+- :mod:`repro.serve.app` — routes, eager submission validation, and
+  the executors that run jobs through the batch planner (so HTTP
+  results are bit-identical to the CLI path);
+- :mod:`repro.serve.daemon` — server lifecycle (event loop owns
+  sockets and queue state; a worker thread pool owns execution);
+- :mod:`repro.serve.client` — :class:`ServeClient` and the
+  ``fannet batch run --server`` mode, which writes shard files and
+  ledgers byte-identical to a local run.
+
+CLI: ``fannet serve --host --port --workers --max-pending`` to boot;
+``fannet batch run --server URL`` to execute a campaign through a
+running daemon.
+"""
+
+from .app import JOB_KINDS, ServeApp
+from .client import ServeClient, ServeClientError, run_batch_shard_via_server
+from .daemon import FannetServer, ServeConfig, run, running_server
+from .jobs import DONE_RETENTION, Job, JobCancelled, JobQueue, QueueFullError
+from .runners import RunnerPool
+
+__all__ = [
+    "DONE_RETENTION",
+    "FannetServer",
+    "JOB_KINDS",
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "QueueFullError",
+    "RunnerPool",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "run",
+    "run_batch_shard_via_server",
+    "running_server",
+]

@@ -1,0 +1,208 @@
+"""A minimal HTTP/1.1 layer over asyncio streams — stdlib only.
+
+The daemon needs exactly four HTTP behaviours: parse a request with an
+optional JSON body, send a JSON response, send an NDJSON progress
+stream, and reject malformed or oversized input loudly.  A framework
+would buy nothing but a runtime dependency, so the protocol surface the
+daemon actually uses lives here, small enough to audit:
+
+- :func:`read_request` — request line + headers + ``Content-Length``
+  body, with hard limits on line length, header count and body size
+  (every violation is a 4xx, never an unbounded buffer);
+- :class:`Response` — a JSON (or plain-text) response with
+  ``Connection: close`` framing; one request per connection keeps the
+  state machine trivial and is plenty for a job-queue API whose work
+  units are verification campaigns, not microsecond echoes;
+- :class:`StreamResponse` — a close-delimited streaming body (NDJSON
+  progress events); chunk flushing and client-disconnect handling stay
+  in the connection handler.
+
+:class:`HttpError` carries a status code and a safe, human-readable
+message; the connection handler turns it into a JSON error body.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Callable
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Hard limits, enforced before any allocation proportional to input.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINE = 8192
+MAX_HEADER_COUNT = 64
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+#: Reason phrases for the status codes the daemon emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps to one HTTP error response."""
+
+    def __init__(self, status: int, message: str, headers: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # lower-cased names
+    body: bytes = b""
+
+    def json(self):
+        """The body parsed as JSON; raises a 400 :class:`HttpError` otherwise."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON document")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            raise HttpError(400, f"request body is not valid JSON: {err}") from None
+
+
+@dataclass
+class Response:
+    """A complete (non-streaming) response; :meth:`encode` frames it."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls, payload, status: int = 200, headers: dict | None = None
+    ) -> "Response":
+        blob = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8") + b"\n"
+        return cls(status=status, body=blob, headers=dict(headers or {}))
+
+    @classmethod
+    def error(cls, status: int, message: str, headers: dict | None = None) -> "Response":
+        return cls.json({"error": message, "status": status}, status, headers)
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{name}: {value}" for name, value in self.headers.items())
+        return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + self.body
+
+
+@dataclass
+class StreamResponse:
+    """A close-delimited streaming body (the progress-events endpoint).
+
+    ``chunks`` yields ready-to-send byte chunks; the connection handler
+    writes the head, then drains chunk by chunk so a slow client applies
+    backpressure to the stream, not to the daemon's memory.
+    """
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+
+    def encode_head(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        head = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            "Connection: close",
+        ]
+        return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+
+
+async def _read_line(reader, limit: int, what: str) -> bytes:
+    """One CRLF-terminated line within ``limit`` bytes, or a 400."""
+    try:
+        line = await reader.readline()
+    except ValueError:  # StreamReader limit overrun
+        raise HttpError(400, f"{what} exceeds {limit} bytes") from None
+    if len(line) > limit:
+        raise HttpError(400, f"{what} exceeds {limit} bytes")
+    return line
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request from ``reader``; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` for malformed or oversized input and
+    :class:`asyncio.IncompleteReadError` when the client disconnects
+    mid-body (the caller treats that as a silent hang-up).
+    """
+    line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
+    if not line:
+        return None  # connection closed before a request
+    try:
+        text = line.decode("latin-1").strip()
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise HttpError(400, "undecodable request line") from None
+    parts = text.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {text[:80]!r}")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    while True:
+        raw = await _read_line(reader, MAX_HEADER_LINE, "header line")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise HttpError(400, f"more than {MAX_HEADER_COUNT} headers")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line: {raw[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+            if size < 0:
+                raise ValueError
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length: {length!r}") from None
+        if size > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(size)
+    elif headers.get("transfer-encoding"):
+        raise HttpError(411, "chunked request bodies are not supported; "
+                             "send a Content-Length")
+    return Request(
+        method=method,
+        path=unquote(split.path),
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+#: Signature of a route handler: Request -> Response | StreamResponse.
+Handler = Callable[[Request], "Response | StreamResponse"]

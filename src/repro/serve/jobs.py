@@ -1,0 +1,188 @@
+"""Job lifecycle and the admission-controlled queue of the daemon.
+
+A *job* is one client-submitted unit of verification work (a single
+query, a tolerance ladder, a whole batch shard) moving through::
+
+    queued -> running -> done | error | cancelled
+
+:class:`JobQueue` is the daemon's admission-control point.  The pending
+(queued, not yet running) set is bounded by ``max_pending``: a submit
+past the bound raises :class:`QueueFullError`, which the HTTP layer
+turns into ``429 Too Many Requests`` with a ``Retry-After`` hint — load
+is shed at the door with O(1) state, instead of accepted into an
+unbounded queue that converts overload into memory growth and
+unbounded latency.  Completed jobs are retained (bounded, FIFO-evicted)
+so clients can fetch results after the fact.
+
+Threading model: submissions, cancellations and lookups happen on the
+event-loop thread; a running job's ``progress``/``state``/``result``
+fields are written by exactly one worker thread.  Field writes are
+single reference assignments (atomic under the GIL) and every visible
+change bumps ``version`` *last*, so a poller that sees a new version
+sees the fields that version describes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+#: States a job can be in; the last three are terminal.
+JOB_STATES = ("queued", "running", "done", "error", "cancelled")
+TERMINAL_STATES = frozenset({"done", "error", "cancelled"})
+
+#: Completed jobs kept for late result fetches before FIFO eviction.
+DONE_RETENTION = 256
+
+
+class QueueFullError(ReproError):
+    """Admission refused: the pending queue is at capacity.
+
+    ``retry_after_s`` is the client hint for the ``Retry-After`` header —
+    a coarse estimate, not a promise.
+    """
+
+    def __init__(self, pending: int, retry_after_s: int = 1):
+        super().__init__(
+            f"job queue is full ({pending} pending); retry after "
+            f"{retry_after_s}s or lower the submission rate"
+        )
+        self.pending = pending
+        self.retry_after_s = retry_after_s
+
+
+class JobCancelled(ReproError):
+    """Raised inside a worker when a job observes its cancellation flag."""
+
+
+@dataclass
+class Job:
+    """One unit of client-submitted work and its observable lifecycle."""
+
+    id: str
+    kind: str
+    payload: dict
+    state: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    progress: dict = field(default_factory=dict)
+    result: object = None
+    error: str | None = None
+    #: Monotonic change counter; bumped after every visible mutation.
+    version: int = 0
+    #: Cooperative cancellation; checked by the worker between tasks.
+    cancel_requested: bool = False
+
+    def touch(self) -> None:
+        self.version += 1
+
+    def advance(self, progress: dict) -> None:
+        """Publish a progress snapshot (worker thread)."""
+        self.progress = dict(progress)
+        self.touch()
+
+    def finish(self, state: str, result=None, error: str | None = None) -> None:
+        """Enter a terminal state (worker thread); result/error first."""
+        self.result = result
+        self.error = error
+        self.state = state
+        self.touch()
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def status_payload(self) -> dict:
+        """The JSON the status/list/events endpoints expose."""
+        payload = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "progress": dict(self.progress),
+            "version": self.version,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobQueue:
+    """Bounded pending queue plus the all-jobs registry."""
+
+    def __init__(self, max_pending: int):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self.jobs: dict[str, Job] = {}
+        self._pending: asyncio.Queue[str] = asyncio.Queue()
+        self._ids = itertools.count(1)
+        self._finished_order: list[str] = []
+
+    # -- admission ---------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Jobs admitted but not yet picked up by a worker."""
+        return self._pending.qsize()
+
+    def submit(self, kind: str, payload: dict) -> Job:
+        """Admit one job or shed it with :class:`QueueFullError`."""
+        if self._pending.qsize() >= self.max_pending:
+            raise QueueFullError(pending=self._pending.qsize())
+        job = Job(id=f"j{next(self._ids):06d}", kind=kind, payload=payload)
+        self.jobs[job.id] = job
+        self._pending.put_nowait(job.id)
+        return job
+
+    async def next_job(self) -> Job:
+        """Block until a runnable job is available; marks it running."""
+        while True:
+            job_id = await self._pending.get()
+            job = self.jobs.get(job_id)
+            if job is None or job.state != "queued":
+                continue  # cancelled (or evicted) while waiting
+            job.state = "running"
+            job.touch()
+            return job
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Request cancellation; queued jobs terminate immediately."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return None
+        job.cancel_requested = True
+        if job.state == "queued":
+            job.finish("cancelled")
+        else:
+            job.touch()
+        return job
+
+    def note_finished(self, job: Job) -> None:
+        """Retention bookkeeping after a worker finished ``job``.
+
+        Keeps at most :data:`DONE_RETENTION` terminal jobs, evicting the
+        oldest — a long-lived daemon must not grow its registry without
+        bound as millions of jobs pass through.
+        """
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > DONE_RETENTION:
+            evicted = self._finished_order.pop(0)
+            self.jobs.pop(evicted, None)
+
+    def summaries(self) -> list[dict]:
+        """Status payloads of every registered job, oldest first."""
+        return [job.status_payload() for job in self.jobs.values()]
+
+    def counts(self) -> dict:
+        out = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            out[job.state] += 1
+        return out

@@ -1,0 +1,99 @@
+"""Per-context :class:`QueryRunner` pool shared by every daemon client.
+
+The daemon's whole point is that many concurrent clients multiplex onto
+*shared* warm caches: one :class:`~repro.runtime.QueryRunner` lives per
+runtime-context fingerprint (network × verifier config × dataset
+digest), created on first use and reused for every later job on the
+same context — the second client's ladder is answered from the first
+client's engine-proved verdicts (exact and monotone-derived hits), and
+with a ``cache_dir`` the warmth survives daemon restarts through the
+existing :class:`~repro.runtime.store.CacheStore`.
+
+Safety model: :class:`QueryRunner` is not internally thread-safe for
+query execution, so each pooled runner carries a lease lock — jobs on
+the *same* context serialise (they share one cache and would race its
+fact tables), jobs on *different* contexts run fully in parallel on the
+worker pool.  Maintenance operations (flush, stats snapshots) are safe
+from any thread via the runner's own I/O lock, which is what lets the
+``/v1/stats`` endpoint sample runners mid-job.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..config import RuntimeConfig, VerifierConfig
+from ..runtime import QueryRunner
+from ..runtime.fingerprint import runtime_context
+
+
+@dataclass
+class _PooledRunner:
+    runner: QueryRunner
+    lock: threading.Lock
+    jobs_served: int = 0
+
+
+class RunnerPool:
+    """Lazily built map of runtime-context fingerprint → shared runner."""
+
+    def __init__(self, runtime: RuntimeConfig | None = None):
+        self.runtime = runtime or RuntimeConfig()
+        self._mutex = threading.Lock()
+        self._entries: dict[str, _PooledRunner] = {}
+
+    @contextmanager
+    def lease(self, network, config: VerifierConfig, data_digest: str | None = None):
+        """Exclusive use of the context's shared runner for one job.
+
+        Creating the runner (which may warm-load a disk store) happens
+        under the pool mutex; the query work happens under the runner's
+        own lease lock only, so slow jobs never block unrelated contexts.
+        """
+        context = runtime_context(network, config, data_digest)
+        with self._mutex:
+            entry = self._entries.get(context)
+            if entry is None:
+                entry = _PooledRunner(
+                    runner=QueryRunner(
+                        network, config, self.runtime, data_digest=data_digest
+                    ),
+                    lock=threading.Lock(),
+                )
+                self._entries[context] = entry
+        with entry.lock:
+            entry.jobs_served += 1
+            yield entry.runner
+
+    # -- maintenance -------------------------------------------------------------
+
+    def _snapshot(self) -> list[_PooledRunner]:
+        with self._mutex:
+            return list(self._entries.values())
+
+    def flush_all(self) -> None:
+        """Spill every runner's new cache entries to its disk store."""
+        for entry in self._snapshot():
+            entry.runner.flush()
+
+    def close_all(self) -> None:
+        """Flush and shut down every runner (daemon shutdown)."""
+        with self._mutex:
+            entries, self._entries = list(self._entries.values()), {}
+        for entry in entries:
+            entry.runner.close()
+
+    def stats(self) -> list[dict]:
+        """One consistent stats snapshot per pooled runner (any thread)."""
+        out = []
+        for entry in self._snapshot():
+            payload = entry.runner.stats_payload()
+            payload["jobs_served"] = entry.jobs_served
+            out.append(payload)
+        return out
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)

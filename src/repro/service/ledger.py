@@ -138,7 +138,9 @@ class CampaignLedger:
         if (
             not isinstance(shard, list)
             or len(shard) != 2
-            or not all(isinstance(v, int) for v in shard)
+            # bool is an int subclass: "shard": [true, true] must not
+            # parse as shard (1, 1) and silently vouch for shard 1/1.
+            or not all(isinstance(v, int) and not isinstance(v, bool) for v in shard)
         ):
             raise DataError("ledger shard must be [index, count]")
         if not isinstance(contexts, dict) or not all(
@@ -173,7 +175,10 @@ class CampaignLedger:
         """
         path = Path(path)
         try:
-            payload = json.loads(path.read_text())
+            # Explicit encoding: ledgers are written as UTF-8 (json.dumps
+            # output), and a locale-dependent read on another machine
+            # must not silently degrade a resume into full re-execution.
+            payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
         try:

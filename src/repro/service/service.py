@@ -43,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from statistics import median
 
+import numpy as np
+
 from ..analysis.records import ExperimentRecord
 from ..errors import ConfigError, DataError, IncompleteCampaignError
 from ..ioutils import atomic_write_bytes
@@ -63,12 +65,27 @@ def shard_file_name(job: str, shard_index: int, shard_count: int) -> str:
 
 
 def _jsonable(value):
-    """Task outcomes as JSON-stable plain data (tuples become lists)."""
+    """Task outcomes as JSON-stable plain data (tuples become lists).
+
+    Numpy scalars and arrays are converted to their Python equivalents:
+    a stray ``np.int64`` in an outcome would either crash ``json.dumps``
+    or (with a permissive encoder) digest differently from its re-parsed
+    form, flipping the ledger's ``outcome_digest`` ok/corrupt verdicts.
+    """
+    if isinstance(value, np.generic):
+        return _jsonable(value.item())
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if isinstance(value, dict):
-        return {k: _jsonable(v) for k, v in value.items()}
+        return {_jsonable_key(k): _jsonable(v) for k, v in value.items()}
     return value
+
+
+def _jsonable_key(key):
+    """Dict keys: numpy scalars become Python scalars (JSON wants str/int)."""
+    return key.item() if isinstance(key, np.generic) else key
 
 
 def _read_shard_payload(path: Path, batch: str):
@@ -84,7 +101,9 @@ def _read_shard_payload(path: Path, batch: str):
     a shard file.
     """
     try:
-        payload = json.loads(path.read_text())
+        # Shard files are UTF-8 by construction; never let the locale
+        # decide how a result written on another machine is decoded.
+        payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError, UnicodeDecodeError) as err:
         return None, f"shard file {path} is unreadable: {err}"
     if not isinstance(payload, dict) or payload.get("batch") != batch:

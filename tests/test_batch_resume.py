@@ -111,6 +111,17 @@ class TestLedger:
             json.dumps([]),
             json.dumps({"format": 99, "batch": "b", "shard": [1, 1]}),
             json.dumps({"format": 1, "batch": "", "shard": [1, 1]}),
+            # bool is an int subclass: [true, true] must not parse as
+            # shard (1, 1) and vouch for results shard 1/1 never ran.
+            json.dumps(
+                {
+                    "format": 1,
+                    "batch": "b",
+                    "shard": [True, True],
+                    "contexts": {},
+                    "tasks": {},
+                }
+            ),
             json.dumps(
                 {
                     "format": 1,
@@ -129,6 +140,28 @@ class TestLedger:
 
     def test_missing_ledger_loads_as_none(self, tmp_path):
         assert CampaignLedger.load(tmp_path / "absent.ledger.json") is None
+
+    def test_from_payload_rejects_boolean_shard_fields(self):
+        from repro.service import LEDGER_FORMAT_VERSION
+
+        payload = {
+            "format": LEDGER_FORMAT_VERSION,
+            "batch": "b",
+            "shard": [True, 1],
+            "contexts": {},
+            "tasks": {},
+        }
+        with pytest.raises(DataError, match="shard"):
+            CampaignLedger.from_payload(payload)
+
+    def test_ledger_bytes_are_locale_independent(self, tmp_path):
+        """Save/load round-trips as UTF-8 regardless of the C locale."""
+        ledger = CampaignLedger(batch="bé", shard=(1, 1))
+        ledger.record("j", "ctx", "j/tolerance/i0", {"note": "✓"})
+        path = ledger.save(tmp_path)
+        raw = path.read_bytes()
+        assert json.loads(raw.decode("utf-8"))["batch"] == "bé"
+        assert CampaignLedger.load(path) == ledger
 
 
 class TestStatusTriage:

@@ -425,3 +425,64 @@ class TestConfigFromDict:
     def test_field_validation_still_applies(self):
         with pytest.raises(ConfigError, match="workers"):
             RuntimeConfig.from_dict({"workers": 0})
+
+
+class TestJsonable:
+    """Shard-file payloads must serialise whatever the runtime hands back.
+
+    Task outcomes can carry numpy scalars (an ``np.int64`` index, an
+    ``np.float64`` median) or small arrays; ``json.dumps`` refuses all
+    of them.  ``_jsonable`` converts them to their exact Python
+    equivalents, and — load-bearing for resume — the conversion is
+    digest-stable: the ledger digest of a converted outcome equals the
+    digest of its plain-Python twin, so a resumed shard validates
+    results written before the numpy types ever appeared.
+    """
+
+    def test_numpy_scalars_and_arrays_convert_exactly(self):
+        import numpy as np
+
+        from repro.service.service import _jsonable
+
+        converted = _jsonable(
+            {
+                "index": np.int64(7),
+                "median": np.float64(8.5),
+                "flag": np.bool_(True),
+                "witness": np.array([3, -1], dtype=np.int32),
+                "grid": np.array([[1.5, 2.0]]),
+            }
+        )
+        assert converted == {
+            "index": 7,
+            "median": 8.5,
+            "flag": True,
+            "witness": [3, -1],
+            "grid": [[1.5, 2.0]],
+        }
+        # numpy-typed keys become their exact Python twins too
+        assert _jsonable({np.int64(4): "np-keyed"}) == {4: "np-keyed"}
+        blob = json.dumps(converted, sort_keys=True)  # must not raise
+        assert isinstance(converted["index"], int)
+        assert isinstance(converted["median"], float)
+        assert isinstance(converted["flag"], bool)
+        assert "7" in blob
+
+    def test_conversion_is_digest_stable(self):
+        import numpy as np
+
+        from repro.service import outcome_digest
+        from repro.service.service import _jsonable
+
+        plain = {"min_flip_percent": 8, "witness": [3, -1], "queries": 4.0}
+        numpyish = {
+            "min_flip_percent": np.int64(8),
+            "witness": np.array([3, -1]),
+            "queries": np.float64(4.0),
+        }
+        assert outcome_digest(_jsonable(numpyish)) == outcome_digest(plain)
+
+    def test_nested_tuples_still_become_lists(self):
+        from repro.service.service import _jsonable
+
+        assert _jsonable({"a": (1, (2, 3))}) == {"a": [1, [2, 3]]}

@@ -246,3 +246,61 @@ class TestCliCacheLifecycle:
         survivors = list(cache_dir.glob("*.qcache"))
         assert old not in survivors  # the cold neighbour was evicted
         assert len(survivors) == 1  # the live run's own context was not
+
+
+class TestPruneAccounting:
+    """Unlink failures must not corrupt the prune report's books.
+
+    The eviction plan is fixed from sizes alone before the first
+    unlink, so a file that cannot be removed (a read-only directory
+    entry, an NFS permission quirk) lands back in ``kept`` with its
+    bytes in ``remaining_bytes`` — and its failure never widens the
+    eviction to newer files a dry run would not have named.
+    """
+
+    _store_files = staticmethod(TestCliCacheLifecycle._store_files)
+
+    def test_unlink_failure_keeps_books_consistent(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        from repro.runtime import prune_cache_dir
+
+        old, new = self._store_files(tmp_path)
+        sizes = {old: old.stat().st_size, new: new.stat().st_size}
+
+        # Same effect as a read-only directory entry, without depending
+        # on the test running unprivileged (root ignores file modes).
+        real_unlink = Path.unlink
+
+        def refusing_unlink(self, *args, **kwargs):
+            if self.name == old.name:
+                raise OSError(13, "Permission denied")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", refusing_unlink)
+        report = prune_cache_dir(tmp_path, max_bytes=0)
+
+        assert [info.path for info in report.evicted] == [new]
+        assert old in [info.path for info in report.kept]
+        assert report.errors and "Permission denied" in report.errors[0]
+        # books: every scanned byte is in exactly one column
+        assert report.evicted_bytes == sizes[new]
+        assert report.remaining_bytes == sizes[old]
+        assert old.exists() and not new.exists()
+
+    def test_dry_run_predicts_the_real_eviction_set(self, tmp_path):
+        from repro.runtime import prune_cache_dir
+
+        self._store_files(tmp_path, contexts=("aaaa1111:bbbb2222",
+                                              "cccc3333:dddd4444",
+                                              "eeee5555:ffff6666"))
+        budget = sorted(p.stat().st_size for p in tmp_path.glob("*.qcache"))[-1]
+        preview = prune_cache_dir(tmp_path, max_bytes=budget, dry_run=True)
+        assert preview.dry_run and all(
+            info.path.exists() for info in preview.evicted
+        )
+        real = prune_cache_dir(tmp_path, max_bytes=budget)
+        assert [i.path for i in preview.evicted] == [i.path for i in real.evicted]
+        assert preview.evicted_bytes == real.evicted_bytes
+        assert preview.remaining_bytes == real.remaining_bytes
+        assert not any(info.path.exists() for info in real.evicted)
