@@ -319,6 +319,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --cache-dir: evict oldest store files past this budget "
         "after each flush",
     )
+    serve.add_argument(
+        "--journal-dir", type=Path, default=None, metavar="DIR",
+        help="write-ahead job journal under DIR: a daemon restart "
+        "re-admits queued/running jobs and keeps serving finished "
+        "results instead of dropping them",
+    )
+    serve.add_argument(
+        "--done-retention", type=int, default=None, metavar="N",
+        help="finished jobs kept in the in-memory registry before FIFO "
+        "eviction (default 256; the journal serves older results)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     return parser
@@ -726,7 +737,7 @@ def _cmd_cache_prune(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import ServeConfig
+    from .serve import DONE_RETENTION, ServeConfig
     from .serve.daemon import run
 
     runtime = RuntimeConfig(
@@ -742,15 +753,37 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         max_pending=args.max_pending,
         runtime=runtime,
+        journal_dir=(
+            str(args.journal_dir) if args.journal_dir is not None else None
+        ),
+        done_retention=(
+            args.done_retention if args.done_retention is not None
+            else DONE_RETENTION
+        ),
     )
 
     def announce(server):
+        extras = ""
+        if args.cache_dir:
+            extras += f", cache dir {args.cache_dir}"
+        if args.journal_dir:
+            extras += f", journal dir {args.journal_dir}"
         print(
             f"fannet serve listening on {server.url} "
             f"({config.workers} worker(s), max {config.max_pending} pending"
-            f"{', cache dir ' + str(args.cache_dir) if args.cache_dir else ''})",
+            f"{extras})",
             flush=True,
         )
+        if server.replayed is not None:
+            report = server.replayed
+            print(
+                f"journal replayed: {report['queued']} queued re-admitted, "
+                f"{report['rerun']} interrupted re-run, "
+                f"{report['finished']} finished retained",
+                flush=True,
+            )
+            for warning in report["warnings"]:
+                print(f"journal warning: {warning}", flush=True)
 
     run(config, announce=announce)
     return 0

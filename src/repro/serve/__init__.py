@@ -12,6 +12,10 @@ multiplex onto shared warm per-context caches:
 - :mod:`repro.serve.jobs` — job lifecycle + the admission-controlled
   queue (bounded pending set; overload is shed with 429/``Retry-After``
   at the door, O(1));
+- :mod:`repro.serve.journal` — the write-ahead job journal behind
+  ``--journal-dir``: every transition appended as canonical NDJSON and
+  replayed on boot, so restarts re-admit queued/running jobs and keep
+  serving finished results instead of dropping work;
 - :mod:`repro.serve.runners` — the per-runtime-context
   :class:`~repro.runtime.QueryRunner` pool (same-context jobs
   serialise on a lease lock; distinct contexts run in parallel);
@@ -24,25 +28,29 @@ multiplex onto shared warm per-context caches:
   ``fannet batch run --server`` mode, which writes shard files and
   ledgers byte-identical to a local run.
 
-CLI: ``fannet serve --host --port --workers --max-pending`` to boot;
-``fannet batch run --server URL`` to execute a campaign through a
-running daemon.
+CLI: ``fannet serve --host --port --workers --max-pending
+[--journal-dir DIR]`` to boot; ``fannet batch run --server URL`` to
+execute a campaign through a running daemon.
 """
 
 from .app import JOB_KINDS, ServeApp
 from .client import ServeClient, ServeClientError, run_batch_shard_via_server
 from .daemon import FannetServer, ServeConfig, run, running_server
 from .jobs import DONE_RETENTION, Job, JobCancelled, JobQueue, QueueFullError
+from .journal import JOURNAL_FILE_NAME, JobJournal, ReplayedJob
 from .runners import RunnerPool
 
 __all__ = [
     "DONE_RETENTION",
     "FannetServer",
     "JOB_KINDS",
+    "JOURNAL_FILE_NAME",
     "Job",
     "JobCancelled",
+    "JobJournal",
     "JobQueue",
     "QueueFullError",
+    "ReplayedJob",
     "RunnerPool",
     "ServeApp",
     "ServeClient",

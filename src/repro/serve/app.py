@@ -53,7 +53,7 @@ from ..nn import load_network, quantize_network, train_paper_network
 from ..service import BatchService, BatchSpec, JobSpec, NetworkSpec
 from ..service.service import _jsonable, _summarise_job
 from .http import HttpError, Request, Response, StreamResponse
-from .jobs import JobCancelled, JobQueue, QueueFullError
+from .jobs import DONE_RETENTION, Job, JobCancelled, JobQueue, QueueFullError
 from .runners import RunnerPool
 
 #: Job kinds the daemon accepts.
@@ -73,13 +73,44 @@ EVENTS_POLL_S = 0.05
 class ServeApp:
     """Routes, the job queue, the runner pool and the executors."""
 
-    def __init__(self, workers: int, max_pending: int, runtime=None):
+    def __init__(
+        self,
+        workers: int,
+        max_pending: int,
+        runtime=None,
+        done_retention: int = DONE_RETENTION,
+    ):
         self.workers = workers
-        self.queue = JobQueue(max_pending)
+        self.queue = JobQueue(max_pending, done_retention=done_retention)
         self.runners = RunnerPool(runtime)
+        self.journal = None
         self.started_at = time.time()
         self._net_mutex = threading.Lock()
         self._networks: dict[tuple, object] = {}
+
+    def attach_journal(self, journal) -> dict:
+        """Wire a :class:`~repro.serve.journal.JobJournal` and replay it.
+
+        Re-admits every journaled job without a terminal record in
+        submission order (jobs caught *running* by the crash simply
+        re-execute — warm per-context caches make the redo cheap), keeps
+        finished jobs answerable through the journal's retained terminal
+        records, and continues the job-id serial past everything
+        replayed.  Returns a boot report: ``{"queued": n, "rerun": n,
+        "finished": n, "warnings": [...]}``.
+        """
+        self.journal = journal
+        self.queue.journal = journal
+        replayed = journal.replay_jobs()
+        for job in replayed:
+            self.queue.restore(job)
+        self.queue.resume_serials(journal.max_serial)
+        return {
+            "queued": sum(1 for job in replayed if job.state == "queued"),
+            "rerun": sum(1 for job in replayed if job.state == "running"),
+            "finished": journal.stats_payload()["terminal"],
+            "warnings": list(journal.warnings),
+        }
 
     # -- routing -----------------------------------------------------------------
 
@@ -98,12 +129,13 @@ class ServeApp:
             return Response.json({"jobs": self.queue.summaries()})
         parts = path.strip("/").split("/")
         if len(parts) in (3, 4) and parts[0] == "v1" and parts[1] == "jobs":
-            job = self.queue.get(parts[2])
+            job, live = self._lookup(parts[2])
             if job is None:
                 raise HttpError(404, f"no such job: {parts[2]!r}")
             if len(parts) == 3:
                 if request.method == "DELETE":
-                    self.queue.cancel(job.id)
+                    if live:
+                        self.queue.cancel(job.id)
                     return Response.json(job.status_payload())
                 self._require(request, "GET")
                 return Response.json(job.status_payload())
@@ -122,6 +154,35 @@ class ServeApp:
 
     def _uptime(self) -> float:
         return round(time.time() - self.started_at, 3)
+
+    def _lookup(self, job_id: str):
+        """``(job, live)`` — the registry's live job, or a read-only view
+        reconstructed from the journal's terminal records.
+
+        The journal view is what keeps two classes of job answerable:
+        jobs finished before a daemon restart, and jobs FIFO-evicted
+        from the bounded registry while their (slow) submitter was
+        still between polls — both would otherwise 404 on success.
+        """
+        job = self.queue.get(job_id)
+        if job is not None:
+            return job, True
+        if self.journal is not None:
+            record = self.journal.terminal_record(job_id)
+            if record is not None:
+                return (
+                    Job(
+                        id=record["id"],
+                        kind=record.get("kind", "unknown"),
+                        payload={},
+                        state=record["state"],
+                        result=record.get("result"),
+                        error=record.get("error"),
+                        version=int(record.get("version", 0)),
+                    ),
+                    False,
+                )
+        return None, False
 
     # -- submission --------------------------------------------------------------
 
@@ -260,7 +321,7 @@ class ServeApp:
             await asyncio.sleep(EVENTS_POLL_S)
 
     def _stats_payload(self) -> dict:
-        return {
+        payload = {
             "uptime_s": self._uptime(),
             "workers": self.workers,
             "queue": {
@@ -270,6 +331,9 @@ class ServeApp:
             },
             "runners": self.runners.stats(),
         }
+        if self.journal is not None:
+            payload["journal"] = self.journal.stats_payload()
+        return payload
 
     # -- execution (worker threads) ----------------------------------------------
 
@@ -401,3 +465,5 @@ class ServeApp:
 
     def shutdown(self) -> None:
         self.runners.close_all()
+        if self.journal is not None:
+            self.journal.close()

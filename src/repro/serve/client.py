@@ -45,6 +45,13 @@ REQUEST_TIMEOUT_S = 300.0
 #: Default status-poll interval (seconds).
 POLL_INTERVAL_S = 0.25
 
+#: How long :meth:`ServeClient.wait` tolerates an unreachable daemon
+#: before giving up — the window in which a journal-backed daemon
+#: restart (deploy, crash + supervisor respawn) looks like a blip, not
+#: a failure.  The replayed journal re-admits the awaited job, so
+#: polling simply resumes where it left off.
+RECONNECT_WINDOW_S = 60.0
+
 
 class ServeClientError(ReproError):
     """A daemon interaction failed (transport or server-reported)."""
@@ -133,11 +140,36 @@ class ServeClient:
         job_id: str,
         poll_s: float = POLL_INTERVAL_S,
         timeout_s: float | None = None,
+        reconnect_s: float = RECONNECT_WINDOW_S,
     ) -> dict:
-        """Poll one job until it reaches a terminal state."""
+        """Poll one job until it reaches a terminal state.
+
+        A daemon that bounces mid-wait (restart, crash + respawn) shows
+        up as transport errors; those are tolerated for up to
+        ``reconnect_s`` consecutive seconds before the wait fails, so a
+        journal-backed restart — which re-admits the job and keeps
+        serving its result — is survived transparently.  Server-reported
+        errors (a real HTTP status) still fail immediately.
+        """
         deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        down_since: float | None = None
         while True:
-            status, body, _ = self.request("GET", f"/v1/jobs/{job_id}")
+            try:
+                status, body, _ = self.request("GET", f"/v1/jobs/{job_id}")
+            except ServeClientError as err:
+                if err.status is not None:
+                    raise  # the server answered; this is not an outage
+                now = time.monotonic()
+                if down_since is None:
+                    down_since = now
+                if now - down_since > reconnect_s:
+                    raise ServeClientError(
+                        f"daemon unreachable for {reconnect_s}s while waiting "
+                        f"for job {job_id}: {err}"
+                    ) from None
+                time.sleep(max(poll_s, 0.05))
+                continue
+            down_since = None
             if status != 200:
                 raise self._error_of(body, status, f"status poll for {job_id}")
             if body.get("state") in ("done", "error", "cancelled"):
@@ -240,6 +272,7 @@ def run_batch_shard_via_server(
 
 __all__ = [
     "POLL_INTERVAL_S",
+    "RECONNECT_WINDOW_S",
     "REQUEST_TIMEOUT_S",
     "ServeClient",
     "ServeClientError",

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from ..config import RuntimeConfig
 from .app import ServeApp
 from .http import HttpError, Response, StreamResponse, read_request
+from .jobs import DONE_RETENTION
+from .journal import JobJournal
 
 #: Seconds a test harness waits for the background server to come up.
 STARTUP_TIMEOUT_S = 30.0
@@ -41,12 +43,20 @@ class ServeConfig:
     workers: int = 2
     max_pending: int = 16
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Directory of the write-ahead job journal; ``None`` disables
+    #: crash-safety (a restart then drops queued/running jobs).
+    journal_dir: str | None = None
+    #: Terminal jobs kept in the in-memory registry before FIFO
+    #: eviction (journal-backed lookups extend well past this).
+    done_retention: int = DONE_RETENTION
 
     def __post_init__(self):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if self.done_retention < 1:
+            raise ValueError("done_retention must be >= 1")
 
 
 class FannetServer:
@@ -58,8 +68,11 @@ class FannetServer:
             workers=config.workers,
             max_pending=config.max_pending,
             runtime=config.runtime,
+            done_retention=config.done_retention,
         )
         self.port: int | None = None  # actual bound port once started
+        #: Boot report of the journal replay (``None`` without a journal).
+        self.replayed: dict | None = None
         self._server: asyncio.AbstractServer | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._pullers: list[asyncio.Task] = []
@@ -67,6 +80,13 @@ class FannetServer:
     # -- lifecycle ---------------------------------------------------------------
 
     async def start(self) -> None:
+        self.app.queue.bind_loop(asyncio.get_running_loop())
+        if self.config.journal_dir is not None:
+            # Replay before the listener opens: a client polling through
+            # a restart must never observe a 404 window mid-replay.
+            self.replayed = self.app.attach_journal(
+                JobJournal(self.config.journal_dir)
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="fannet-serve"
         )
@@ -91,7 +111,13 @@ class FannetServer:
             task.cancel()
         await asyncio.gather(*self._pullers, return_exceptions=True)
         # Running jobs stop at their next cancellation checkpoint; the
-        # executor drain below waits for them, bounded by that.
+        # executor drain below waits for them, bounded by that.  With a
+        # journal these drain cancellations are *not* journaled as
+        # terminal — the journal keeps believing the jobs are queued or
+        # running, so the next boot re-admits them (a graceful restart
+        # resumes work exactly like a crash recovery does).
+        if self.app.journal is not None:
+            self.app.journal.begin_shutdown()
         for job in list(self.app.queue.jobs.values()):
             if not job.done:
                 self.app.queue.cancel(job.id)

@@ -23,6 +23,7 @@ message; the connection handler turns it into a JSON error body.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Callable
@@ -153,11 +154,15 @@ async def read_request(reader) -> Request | None:
 
     Raises :class:`HttpError` for malformed or oversized input and
     :class:`asyncio.IncompleteReadError` when the client disconnects
-    mid-body (the caller treats that as a silent hang-up).
+    mid-request — mid-request-line, mid-headers or mid-body (the caller
+    treats all three as a silent hang-up).
     """
     line = await _read_line(reader, MAX_REQUEST_LINE, "request line")
     if not line:
         return None  # connection closed before a request
+    if not line.endswith(b"\n"):
+        # EOF mid-request-line: a hang-up, not a parseable request.
+        raise asyncio.IncompleteReadError(partial=line, expected=None)
     try:
         text = line.decode("latin-1").strip()
     except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
@@ -170,8 +175,15 @@ async def read_request(reader) -> Request | None:
     headers: dict[str, str] = {}
     while True:
         raw = await _read_line(reader, MAX_HEADER_LINE, "header line")
-        if raw in (b"\r\n", b"\n", b""):
+        if raw in (b"\r\n", b"\n"):
             break
+        if not raw.endswith(b"\n"):
+            # EOF before the blank line that ends the header block
+            # (``b""``, or a torn final header).  This is a client
+            # hang-up, not a complete request with truncated headers —
+            # routing it would act on whatever headers happened to
+            # arrive before the disconnect.
+            raise asyncio.IncompleteReadError(partial=raw, expected=None)
         if len(headers) >= MAX_HEADER_COUNT:
             raise HttpError(400, f"more than {MAX_HEADER_COUNT} headers")
         name, sep, value = raw.decode("latin-1").partition(":")

@@ -11,15 +11,25 @@ past the bound raises :class:`QueueFullError`, which the HTTP layer
 turns into ``429 Too Many Requests`` with a ``Retry-After`` hint — load
 is shed at the door with O(1) state, instead of accepted into an
 unbounded queue that converts overload into memory growth and
-unbounded latency.  Completed jobs are retained (bounded, FIFO-evicted)
-so clients can fetch results after the fact.
+unbounded latency.  Cancelling a queued job frees its admission slot
+immediately (the stale queue entry is skipped when a worker reaches
+it).  Completed jobs — including cancelled-while-queued ones — are
+retained (bounded, FIFO-evicted) so clients can fetch results after the
+fact; with a :class:`~repro.serve.journal.JobJournal` attached, every
+transition is also journaled so a daemon restart resumes queued/running
+jobs and keeps serving finished ones.
 
 Threading model: submissions, cancellations and lookups happen on the
 event-loop thread; a running job's ``progress``/``state``/``result``
 fields are written by exactly one worker thread.  Field writes are
 single reference assignments (atomic under the GIL) and every visible
 change bumps ``version`` *last*, so a poller that sees a new version
-sees the fields that version describes.
+sees the fields that version describes.  Registry *structure* (the
+``jobs`` dict) is only ever mutated on the event-loop thread:
+worker-side completions route their retention eviction through
+``loop.call_soon_threadsafe``, so the endpoints that iterate the
+registry (``summaries``/``counts``) can never see it change size
+mid-iteration.
 """
 
 from __future__ import annotations
@@ -75,6 +85,9 @@ class Job:
     version: int = 0
     #: Cooperative cancellation; checked by the worker between tasks.
     cancel_requested: bool = False
+    #: Optional :class:`~repro.serve.journal.JobJournal` receiving
+    #: progress checkpoints (set by the queue, never serialised).
+    journal: object = field(default=None, repr=False, compare=False)
 
     def touch(self) -> None:
         self.version += 1
@@ -83,6 +96,8 @@ class Job:
         """Publish a progress snapshot (worker thread)."""
         self.progress = dict(progress)
         self.touch()
+        if self.journal is not None:
+            self.journal.record_progress(self.id, self.progress)
 
     def finish(self, state: str, result=None, error: str | None = None) -> None:
         """Enter a terminal state (worker thread); result/error first."""
@@ -112,30 +127,84 @@ class Job:
 class JobQueue:
     """Bounded pending queue plus the all-jobs registry."""
 
-    def __init__(self, max_pending: int):
+    def __init__(
+        self,
+        max_pending: int,
+        done_retention: int = DONE_RETENTION,
+        journal=None,
+    ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if done_retention < 1:
+            raise ValueError("done_retention must be >= 1")
         self.max_pending = max_pending
+        self.done_retention = done_retention
+        self.journal = journal
         self.jobs: dict[str, Job] = {}
         self._pending: asyncio.Queue[str] = asyncio.Queue()
+        #: Queued-and-live count; unlike ``_pending.qsize()`` it drops
+        #: the moment a queued job is cancelled, so cancellation
+        #: restores admission capacity instead of holding a slot until
+        #: a worker drains the stale entry.
+        self._pending_live = 0
         self._ids = itertools.count(1)
         self._finished_order: list[str] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Name the event loop that owns registry structure (daemon boot)."""
+        self._loop = loop
 
     # -- admission ---------------------------------------------------------------
 
     @property
     def pending(self) -> int:
         """Jobs admitted but not yet picked up by a worker."""
-        return self._pending.qsize()
+        return self._pending_live
 
     def submit(self, kind: str, payload: dict) -> Job:
         """Admit one job or shed it with :class:`QueueFullError`."""
-        if self._pending.qsize() >= self.max_pending:
-            raise QueueFullError(pending=self._pending.qsize())
-        job = Job(id=f"j{next(self._ids):06d}", kind=kind, payload=payload)
+        if self._pending_live >= self.max_pending:
+            raise QueueFullError(pending=self._pending_live)
+        job = Job(
+            id=f"j{next(self._ids):06d}",
+            kind=kind,
+            payload=payload,
+            journal=self.journal,
+        )
+        if self.journal is not None:
+            # Fsynced before the 202 leaves the daemon: an acknowledged
+            # submission survives a crash.
+            self.journal.record_submitted(job)
         self.jobs[job.id] = job
+        self._pending_live += 1
         self._pending.put_nowait(job.id)
         return job
+
+    def restore(self, replayed) -> Job:
+        """Re-admit one journal-replayed job (daemon boot, loop thread).
+
+        Bypasses the ``max_pending`` check — these jobs were admitted
+        (and acknowledged) by a previous daemon life; shedding them now
+        would drop acknowledged work, the exact failure the journal
+        exists to prevent.  The journal already holds their ``submitted``
+        records, so nothing is re-journaled here.
+        """
+        job = Job(
+            id=replayed.id,
+            kind=replayed.kind,
+            payload=replayed.payload,
+            submitted_at=replayed.submitted_at,
+            journal=self.journal,
+        )
+        self.jobs[job.id] = job
+        self._pending_live += 1
+        self._pending.put_nowait(job.id)
+        return job
+
+    def resume_serials(self, max_serial: int) -> None:
+        """Continue job ids past a replayed journal's highest serial."""
+        self._ids = itertools.count(max_serial + 1)
 
     async def next_job(self) -> Job:
         """Block until a runnable job is available; marks it running."""
@@ -143,9 +212,14 @@ class JobQueue:
             job_id = await self._pending.get()
             job = self.jobs.get(job_id)
             if job is None or job.state != "queued":
-                continue  # cancelled (or evicted) while waiting
+                # Cancelled (or evicted) while waiting; its admission
+                # slot was already released at cancellation time.
+                continue
+            self._pending_live -= 1
             job.state = "running"
             job.touch()
+            if self.journal is not None:
+                self.journal.record_running(job.id)
             return job
 
     # -- bookkeeping -------------------------------------------------------------
@@ -160,20 +234,42 @@ class JobQueue:
             return None
         job.cancel_requested = True
         if job.state == "queued":
+            # Terminal straight from the queue: release the admission
+            # slot now (the stale ``_pending`` entry is skipped later)
+            # and run the same retention path worker completions take,
+            # so cancelled-queued jobs are FIFO-evicted too.
+            self._pending_live -= 1
             job.finish("cancelled")
+            self.note_finished(job)
         else:
             job.touch()
         return job
 
     def note_finished(self, job: Job) -> None:
-        """Retention bookkeeping after a worker finished ``job``.
+        """Retention bookkeeping after ``job`` reached a terminal state.
 
-        Keeps at most :data:`DONE_RETENTION` terminal jobs, evicting the
-        oldest — a long-lived daemon must not grow its registry without
-        bound as millions of jobs pass through.
+        Called from worker threads (normal completions) and the loop
+        thread (cancelled-while-queued).  The journal append is
+        thread-safe and happens inline; the registry eviction always
+        runs on the event-loop thread so ``summaries``/``counts`` never
+        race a ``dict`` resize.  Keeps at most ``done_retention``
+        terminal jobs — a long-lived daemon must not grow its registry
+        without bound as millions of jobs pass through.
         """
-        self._finished_order.append(job.id)
-        while len(self._finished_order) > DONE_RETENTION:
+        if self.journal is not None:
+            self.journal.record_terminal(job)
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._evict_finished, job.id)
+                return
+            except RuntimeError:
+                pass  # loop tearing down: evict inline, nothing races it
+        self._evict_finished(job.id)
+
+    def _evict_finished(self, job_id: str) -> None:
+        self._finished_order.append(job_id)
+        while len(self._finished_order) > self.done_retention:
             evicted = self._finished_order.pop(0)
             self.jobs.pop(evicted, None)
 

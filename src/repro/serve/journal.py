@@ -1,0 +1,427 @@
+"""Write-ahead job journal: the serve plane's crash-safety layer.
+
+``fannet serve`` without a journal forgets every queued and running job
+on restart — a deploy, an OOM kill or a crash silently drops client
+work.  With ``--journal-dir`` the daemon appends one canonical-JSON
+NDJSON record per job transition to a single journal file::
+
+    serve-jobs.journal.ndjson
+    {"format":1,"type":"meta"}
+    {"id":"j000001","kind":"sleep","payload":{...},"submitted_at":...,"type":"submitted"}
+    {"id":"j000001","type":"running"}
+    {"id":"j000001","progress":{"done":1,...},"type":"progress"}
+    {"digest":"<sha-256>","id":"j000001","kind":"sleep","result":{...},
+     "state":"done","type":"finished","version":4}
+
+and replays it on boot: jobs with no terminal record are re-admitted in
+submission order (jobs that were *running* are simply re-executed — the
+per-context runner pool's warm :class:`~repro.runtime.store.CacheStore`
+and the batch plane's ledger checkpoints make the redo cheap and
+byte-identical), and jobs with a terminal record keep answering
+``GET /v1/jobs/{id}`` and ``/result`` after the restart instead of
+404ing.  Done results carry the SHA-256 of their canonical JSON
+rendering (the ledger's :func:`~repro.service.ledger.outcome_digest`),
+so a torn or bit-rotted result is detected and dropped at replay, never
+served.
+
+Durability discipline — fsync-batched, like the cache store's flush
+cadence: records that change what a restart must do (``submitted``,
+``finished``) are fsynced before the daemon acknowledges them (a 202
+implies the job survives a crash); high-frequency ``running``/
+``progress`` checkpoints are buffered-flushed only, because losing one
+merely replays the job as queued — the redo the journal performs
+anyway.
+
+Corruption tolerance mirrors :meth:`CampaignLedger.load
+<repro.service.ledger.CampaignLedger.load>`: any unreadable tail
+(truncated record, garbage bytes, a digest mismatch) degrades to a
+*warned partial replay* — everything before the damage is trusted, the
+damaged remainder is dropped, the original file is preserved as
+``*.bad`` for post-mortems, and the daemon boots.  A journal must never
+convert a crash into a second crash.
+
+Compaction: the journal rewrites itself (atomically) to a snapshot —
+live jobs' ``submitted`` records plus the retained terminal records —
+on every boot and every :data:`COMPACT_EVERY` appends, so the file and
+the replay cost stay proportional to live + retained jobs, not to the
+daemon's lifetime job count.  Progress history is deliberately dropped
+by compaction; it only ever described executions that either finished
+(superseded by the terminal record) or will re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..ioutils import atomic_write_bytes
+from ..service.ledger import outcome_digest
+
+#: Version stamp of the journal file format.
+JOURNAL_FORMAT_VERSION = 1
+
+#: The journal file's name under ``--journal-dir``.
+JOURNAL_FILE_NAME = "serve-jobs.journal.ndjson"
+
+#: Terminal records retained across compactions — the window in which a
+#: restarted daemon (or a slow client whose job was FIFO-evicted from
+#: the in-memory registry) can still fetch a result.  Deliberately much
+#: wider than the registry's ``DONE_RETENTION``.
+TERMINAL_RETENTION = 4096
+
+#: Appended records between automatic compactions.
+COMPACT_EVERY = 8192
+
+#: Job ids are ``j<serial>``; replay continues the serial past the max.
+_ID_RE = re.compile(r"^j(\d+)$")
+
+
+def _canonical(record: dict) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+@dataclass
+class ReplayedJob:
+    """One non-terminal journal job a booting daemon must re-admit."""
+
+    id: str
+    kind: str
+    payload: dict
+    submitted_at: float
+    #: ``queued`` or ``running`` at crash time; both re-execute, the
+    #: distinction only feeds the boot report.
+    state: str = "queued"
+
+
+@dataclass
+class _LiveEntry:
+    record: dict
+    state: str = "queued"
+
+
+class JobJournal:
+    """Append/replay/compact the NDJSON job journal (thread-safe).
+
+    Construction replays any existing journal (collect ``warnings``
+    rather than raising), then compacts and reopens for append.  All
+    ``record_*`` methods are safe from the event-loop thread and worker
+    threads alike.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        terminal_retention: int = TERMINAL_RETENTION,
+        compact_every: int = COMPACT_EVERY,
+    ):
+        if terminal_retention < 1:
+            raise ValueError("terminal_retention must be >= 1")
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / JOURNAL_FILE_NAME
+        self.terminal_retention = terminal_retention
+        self.compact_every = compact_every
+        self.warnings: list[str] = []
+        self.max_serial = 0
+        self.compactions = 0
+        self._mutex = threading.Lock()
+        self._live: OrderedDict[str, _LiveEntry] = OrderedDict()
+        self._terminal: OrderedDict[str, dict] = OrderedDict()
+        self._fh = None
+        self._appended = 0
+        #: During daemon drain, shutdown-initiated cancellations must
+        #: *not* journal a terminal state: the whole point of the
+        #: journal is that those jobs re-run after the restart.
+        self._suppress_cancelled = False
+        self._replay_file()
+        self._compact_locked()
+
+    # -- replay ------------------------------------------------------------------
+
+    def _warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def _note_serial(self, job_id: str) -> None:
+        match = _ID_RE.match(job_id)
+        if match:
+            self.max_serial = max(self.max_serial, int(match.group(1)))
+
+    def _replay_file(self) -> None:
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        except OSError as err:
+            self._warn(f"journal {self.path} unreadable ({err}); starting empty")
+            return
+        lines = blob.split(b"\n")
+        damaged_at: int | None = None
+        for lineno, raw in enumerate(lines, start=1):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                damaged_at = lineno
+                break
+            if not isinstance(record, dict):
+                damaged_at = lineno
+                break
+            if lineno == 1:
+                if (
+                    record.get("type") != "meta"
+                    or record.get("format") != JOURNAL_FORMAT_VERSION
+                ):
+                    self._warn(
+                        f"journal {self.path} has an unsupported header "
+                        f"{record!r}; ignoring the file"
+                    )
+                    self._preserve_bad()
+                    return
+                continue
+            self._apply(record, lineno)
+        if damaged_at is not None:
+            dropped = sum(1 for raw in lines[damaged_at:] if raw.strip())
+            self._warn(
+                f"journal {self.path} is damaged at line {damaged_at}; "
+                f"replayed the {len(self._live)} live / {len(self._terminal)} "
+                f"finished job(s) before it and dropped {dropped} later "
+                "record(s) (original preserved as *.bad)"
+            )
+            self._preserve_bad()
+
+    def _apply(self, record: dict, lineno: int) -> None:
+        """Fold one parsed record into the live/terminal maps."""
+        kind = record.get("type")
+        job_id = record.get("id")
+        if not isinstance(job_id, str) or not job_id:
+            self._warn(f"journal line {lineno}: record without a job id; skipped")
+            return
+        if kind == "submitted":
+            if not isinstance(record.get("payload"), dict) or not isinstance(
+                record.get("kind"), str
+            ):
+                self._warn(
+                    f"journal line {lineno}: malformed submitted record "
+                    f"for {job_id}; skipped"
+                )
+                return
+            self._note_serial(job_id)
+            self._live[job_id] = _LiveEntry(record=record)
+        elif kind == "running":
+            entry = self._live.get(job_id)
+            if entry is not None:
+                entry.state = "running"
+        elif kind == "progress":
+            pass  # cosmetic between checkpoints; replay re-executes anyway
+        elif kind == "finished":
+            state = record.get("state")
+            if state not in ("done", "error", "cancelled"):
+                self._warn(
+                    f"journal line {lineno}: finished record for {job_id} "
+                    f"with bad state {state!r}; skipped"
+                )
+                return
+            if state == "done" and record.get("digest") != outcome_digest(
+                record.get("result")
+            ):
+                self._warn(
+                    f"journal line {lineno}: result digest mismatch for "
+                    f"{job_id}; dropping its record (torn write or bit rot)"
+                )
+                self._live.pop(job_id, None)
+                return
+            self._note_serial(job_id)
+            self._live.pop(job_id, None)
+            self._terminal[job_id] = record
+            self._terminal.move_to_end(job_id)
+        else:
+            self._warn(
+                f"journal line {lineno}: unknown record type {kind!r}; skipped"
+            )
+        while len(self._terminal) > self.terminal_retention:
+            self._terminal.popitem(last=False)
+
+    def _preserve_bad(self) -> None:
+        """Keep the damaged original next to the journal for post-mortems."""
+        try:
+            os.replace(self.path, self.path.with_name(self.path.name + ".bad"))
+        except OSError:
+            pass  # evidence preservation is best-effort
+
+    def replay_jobs(self) -> list[ReplayedJob]:
+        """Non-terminal jobs to re-admit, in submission (serial) order."""
+        out = [
+            ReplayedJob(
+                id=job_id,
+                kind=entry.record["kind"],
+                payload=entry.record["payload"],
+                submitted_at=float(entry.record.get("submitted_at", 0.0)),
+                state=entry.state,
+            )
+            for job_id, entry in self._live.items()
+        ]
+        out.sort(key=lambda job: (_ID_RE.match(job.id) is None, job.id))
+        return out
+
+    def terminal_record(self, job_id: str) -> dict | None:
+        """The retained terminal record for ``job_id``, if any."""
+        with self._mutex:
+            return self._terminal.get(job_id)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_submitted(self, job) -> None:
+        record = {
+            "type": "submitted",
+            "id": job.id,
+            "kind": job.kind,
+            "payload": job.payload,
+            "submitted_at": job.submitted_at,
+        }
+        with self._mutex:
+            self._live[job.id] = _LiveEntry(record=record)
+            self._note_serial(job.id)
+            self._append_locked(record, sync=True)
+
+    def record_running(self, job_id: str) -> None:
+        with self._mutex:
+            entry = self._live.get(job_id)
+            if entry is not None:
+                entry.state = "running"
+            self._append_locked({"type": "running", "id": job_id}, sync=False)
+
+    def record_progress(self, job_id: str, progress: dict) -> None:
+        with self._mutex:
+            self._append_locked(
+                {"type": "progress", "id": job_id, "progress": dict(progress)},
+                sync=False,
+            )
+
+    def record_terminal(self, job) -> None:
+        """Journal a job's terminal state (fsynced before returning).
+
+        Shutdown-initiated cancellations are suppressed after
+        :meth:`begin_shutdown` — the journal keeps believing those jobs
+        are queued/running, which is exactly what makes the next boot
+        re-admit them.
+        """
+        if self._suppress_cancelled and job.state == "cancelled":
+            return
+        record = {
+            "type": "finished",
+            "id": job.id,
+            "kind": job.kind,
+            "state": job.state,
+            "version": job.version,
+        }
+        if job.state == "done":
+            record["result"] = job.result
+            record["digest"] = outcome_digest(job.result)
+        if job.error is not None:
+            record["error"] = job.error
+        with self._mutex:
+            self._live.pop(job.id, None)
+            self._terminal[job.id] = record
+            self._terminal.move_to_end(job.id)
+            while len(self._terminal) > self.terminal_retention:
+                self._terminal.popitem(last=False)
+            self._append_locked(record, sync=True)
+
+    def begin_shutdown(self) -> None:
+        """Stop journaling cancellations: the daemon is draining, not clients."""
+        self._suppress_cancelled = True
+
+    def _append_locked(self, record: dict, sync: bool) -> None:
+        if self._fh is None:
+            return  # closed: a straggler worker finishing during teardown
+        try:
+            self._fh.write(_canonical(record))
+            self._fh.flush()
+            if sync:
+                os.fsync(self._fh.fileno())
+        except OSError as err:
+            self._warn(f"journal append failed ({err}); record dropped")
+            return
+        self._appended += 1
+        if self._appended >= self.compact_every:
+            self._compact_locked()
+
+    # -- compaction / lifecycle --------------------------------------------------
+
+    def _snapshot_blob(self) -> bytes:
+        parts = [_canonical({"type": "meta", "format": JOURNAL_FORMAT_VERSION})]
+        for entry in self._live.values():
+            parts.append(_canonical(entry.record))
+            if entry.state == "running":
+                parts.append(
+                    _canonical({"type": "running", "id": entry.record["id"]})
+                )
+        parts.extend(_canonical(record) for record in self._terminal.values())
+        return b"".join(parts)
+
+    def _compact_locked(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        atomic_write_bytes(self.path, self._snapshot_blob())
+        self._fh = open(self.path, "ab")
+        self._appended = 0
+        self.compactions += 1
+
+    def compact(self) -> None:
+        """Rewrite the journal to its minimal snapshot (atomic)."""
+        with self._mutex:
+            self._compact_locked()
+
+    def flush(self) -> None:
+        with self._mutex:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Final compaction + close (daemon shutdown)."""
+        with self._mutex:
+            self._compact_locked()
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        with self._mutex:
+            return {
+                "path": str(self.path),
+                "live": len(self._live),
+                "terminal": len(self._terminal),
+                "appended_since_compact": self._appended,
+                "compactions": self.compactions,
+                "warnings": len(self.warnings),
+            }
+
+
+__all__ = [
+    "COMPACT_EVERY",
+    "JOURNAL_FILE_NAME",
+    "JOURNAL_FORMAT_VERSION",
+    "TERMINAL_RETENTION",
+    "JobJournal",
+    "ReplayedJob",
+]

@@ -23,8 +23,10 @@ every rung instead; outcomes are identical either way).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
+import threading
 import time
 
 import numpy as np
@@ -76,6 +78,22 @@ def client(server):
     return ServeClient(server.url)
 
 
+def _half_close_exchange(server, blob: bytes, timeout: float = 10.0) -> bytes:
+    """Send bytes, half-close the write side (EOF), read until close."""
+    with socket.create_connection(
+        (server.config.host, server.port), timeout=timeout
+    ) as sock:
+        sock.sendall(blob)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = b""
+        while True:
+            piece = sock.recv(65536)
+            if not piece:
+                break
+            chunks += piece
+    return chunks
+
+
 def _raw_exchange(server, blob: bytes, timeout: float = 10.0) -> bytes:
     """Send raw bytes, read until the daemon closes the connection."""
     with socket.create_connection(
@@ -121,6 +139,64 @@ class TestJobQueueUnit:
         assert queue.get(jobs[0].id) is None  # oldest evicted
         assert queue.get(jobs[-1].id) is jobs[-1]
         assert len(queue.jobs) == DONE_RETENTION
+
+    def test_cancelled_queued_jobs_free_admission_capacity(self):
+        # Regression: cancelling a queued job used to leave its stale
+        # entry counted against max_pending until a worker drained it,
+        # so submits could 429 with free slots.
+        queue = JobQueue(max_pending=2)
+        first = queue.submit("sleep", {})
+        queue.submit("sleep", {})
+        queue.cancel(first.id)
+        assert queue.pending == 1
+        replacement = queue.submit("sleep", {})  # raised QueueFullError before
+        assert replacement.state == "queued"
+
+        async def drain_two():
+            one = await queue.next_job()
+            two = await queue.next_job()
+            return {one.id, two.id}
+
+        # the stale entry for the cancelled job is skipped, not served
+        picked = asyncio.run(drain_two())
+        assert first.id not in picked and queue.pending == 0
+
+    def test_cancelled_queued_jobs_are_retention_evicted(self):
+        # Regression: cancelled-while-queued jobs never reached the
+        # retention path, so the registry grew without bound.
+        queue = JobQueue(max_pending=8, done_retention=2)
+        cancelled = []
+        for _ in range(4):
+            job = queue.submit("sleep", {})
+            queue.cancel(job.id)
+            cancelled.append(job)
+        assert len(queue.jobs) == 2  # bounded, oldest cancelled evicted
+        assert queue.get(cancelled[0].id) is None
+        assert queue.get(cancelled[-1].id) is cancelled[-1]
+
+    def test_worker_side_eviction_is_marshalled_to_the_loop(self):
+        # Regression: note_finished popped registry entries directly on
+        # worker threads, racing the event loop's summaries()/counts()
+        # iteration ("dictionary changed size during iteration").  The
+        # eviction must now wait for the loop to run it.
+        loop = asyncio.new_event_loop()
+        try:
+            queue = JobQueue(max_pending=8, done_retention=1)
+            queue.bind_loop(loop)
+            jobs = [queue.submit("sleep", {}) for _ in range(3)]
+            for job in jobs:
+                job.finish("done")
+            worker = threading.Thread(
+                target=lambda: [queue.note_finished(job) for job in jobs]
+            )
+            worker.start()
+            worker.join()
+            # nothing evicted yet: the callbacks are queued on the loop
+            assert len(queue.jobs) == 3
+            loop.run_until_complete(asyncio.sleep(0.05))
+            assert len(queue.jobs) == 1
+        finally:
+            loop.close()
 
 
 class TestMalformedRequests:
@@ -186,6 +262,22 @@ class TestMalformedRequests:
         )
         reply = _raw_exchange(server, head)
         assert b"411" in reply.split(b"\r\n", 1)[0]
+
+    def test_eof_mid_headers_is_a_hangup_not_a_routed_request(
+        self, server, client
+    ):
+        # Regression: a client disconnecting after the request line used
+        # to parse as a complete request with truncated headers and get
+        # routed (a 200 here).  EOF before the blank header terminator
+        # is a hang-up: the daemon answers nothing and stays healthy.
+        for torn in (
+            b"GET /healthz HTTP/1.1\r\n",           # EOF after the request line
+            b"GET /healthz HTTP/1.1\r\nHost: x",    # EOF mid-header line
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n",  # EOF between headers
+            b"GET /healthz HTTP",                   # EOF mid-request-line
+        ):
+            assert _half_close_exchange(server, torn) == b"", torn
+        assert client.healthy()
 
     def test_unknown_route_and_job_are_404(self, client):
         assert client.request("GET", "/v1/nope")[0] == 404
