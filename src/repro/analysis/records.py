@@ -4,6 +4,8 @@ Every benchmark writes one of these next to its textual output so the
 numbers in EXPERIMENTS.md can be regenerated and diffed mechanically.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import json

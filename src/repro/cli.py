@@ -18,7 +18,12 @@ Subcommands mirror the paper's workflow:
   queue over shared warm per-context caches (see :mod:`repro.serve`);
   ``batch run --server URL`` executes a campaign through it with
   byte-identical output files
+- ``lint``       — the self-hosted invariant analyzer (see
+  :mod:`repro.lint`): AST rules FAN001–FAN005 over ``src``/``tests``/
+  ``benchmarks``, run as a CI gate; this repository lints itself clean
 """
+# lint: canonical-json — every JSON artifact this module writes
+# (reports, status payloads, lint findings) is byte-stable.
 
 from __future__ import annotations
 
@@ -332,6 +337,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(handler=_cmd_serve)
 
+    lint = sub.add_parser(
+        "lint",
+        help="self-hosted invariant analyzer: AST rules FAN001-FAN005 "
+        "(encoding pins, canonical JSON, bool-int, loop affinity, "
+        "determinism); exit 1 on any unsuppressed finding",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src tests benchmarks, "
+        "whichever exist under the current directory)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="run only these comma-separated rule codes (e.g. FAN001,FAN003)",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="skip these comma-separated rule codes",
+    )
+    lint.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write the full report as JSON (CI uploads this on failure)",
+    )
+    lint.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="checked-in audit file of accepted findings; matches are "
+        "reported but do not fail the gate",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
+
     return parser
 
 
@@ -397,7 +436,9 @@ def _cmd_run(args) -> int:
                 "test": report.test_accuracy,
             },
         }
-        args.json.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        args.json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
         print(f"\nJSON report written to {args.json}")
     return 0
 
@@ -433,7 +474,7 @@ def _cmd_translate(args) -> int:
     )
     text = print_module(module)
     if args.output is not None:
-        args.output.write_text(text)
+        args.output.write_text(text, encoding="utf-8")
         print(f"SMV model written to {args.output}")
     else:
         print(text)
@@ -444,7 +485,7 @@ def _cmd_check(args) -> int:
     from .mc import BddChecker, BmcChecker, ExplicitChecker, KInduction
     from .smv import parse_module
 
-    module = parse_module(args.model.read_text())
+    module = parse_module(args.model.read_text(encoding="utf-8"))
     engines = {
         "explicit": lambda: ExplicitChecker(),
         "bdd": lambda: BddChecker(),
@@ -629,7 +670,8 @@ def _cmd_batch_status(args) -> int:
         print(f"note: {problem}")
     if args.json is not None:
         args.json.write_text(
-            json_module.dumps(status.to_payload(), indent=2), encoding="utf-8"
+            json_module.dumps(status.to_payload(), indent=2, sort_keys=True),
+            encoding="utf-8",
         )
         print(f"\nstatus JSON written to {args.json}")
     return 0 if status.complete else 3
@@ -787,6 +829,63 @@ def _cmd_serve(args) -> int:
 
     run(config, announce=announce)
     return 0
+
+
+def _parse_codes(raw: str | None) -> set[str] | None:
+    if raw is None:
+        return None
+    codes = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    return codes or None
+
+
+def _cmd_lint(args) -> int:
+    from .lint import iter_rules, lint_paths, load_baseline
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  {rule.name}")
+            print(f"    {rule.summary}")
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in ("src", "tests", "benchmarks") if Path(p).is_dir()]
+        if not paths:
+            print(
+                "error: no paths given and none of src/tests/benchmarks "
+                "exist here",
+                file=sys.stderr,
+            )
+            return 2
+
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    report = lint_paths(
+        paths,
+        select=_parse_codes(args.select),
+        ignore=_parse_codes(args.ignore),
+        baseline=baseline,
+    )
+
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(report.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    for finding in report.findings:
+        print(finding.format())
+    for finding in report.baselined:
+        print(f"{finding.format()} [baselined]")
+
+    tail = (
+        f"{report.files} file(s), {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} suppressed"
+    )
+    if report.clean:
+        print(f"lint clean: {tail}")
+        return 0
+    print(f"lint failed: {tail}", file=sys.stderr)
+    return 1
 
 
 if __name__ == "__main__":

@@ -27,6 +27,8 @@ source declares an integer ``dtype`` and loading verifies the file
 honours it.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import csv

@@ -1,0 +1,45 @@
+"""``fannet lint`` — the self-hosted invariant analyzer.
+
+Pure-stdlib (``ast`` + ``tokenize``) static analysis encoding the
+mechanical invariants this repository's guarantees rest on: pinned
+encodings on artifact I/O (FAN001), canonical JSON on digest paths
+(FAN002), bool-excluding integer validation (FAN003), event-loop
+affinity of serve-plane state (FAN004) and clock/RNG-free identity
+code (FAN005).  Each rule exists because the bug it targets actually
+shipped in an earlier PR; the CI gate keeps the recurrence count at
+three.
+
+Usage::
+
+    fannet lint [paths...] [--select CODES] [--ignore CODES]
+                [--json FILE] [--baseline FILE] [--list-rules]
+
+False positives are silenced inline::
+
+    payload = path.read_text()  # lint: ok FAN001 (probing locale default)
+
+and audited in bulk through the checked-in baseline file
+(``lint-baseline.json``).  The repository lints itself clean — a
+tier-1 test enforces it — so every suppression in the tree documents a
+deliberate exception.
+"""
+
+from __future__ import annotations
+
+from .engine import expand_paths, lint_file, lint_paths, load_baseline
+from .findings import Finding, LintReport
+from .registry import RULES, Rule, iter_rules, register, selected_rules
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "expand_paths",
+    "iter_rules",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "register",
+    "selected_rules",
+]

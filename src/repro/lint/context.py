@@ -1,0 +1,165 @@
+"""Per-file analysis context shared by every lint rule.
+
+One :class:`FileContext` per source file carries the parsed AST plus
+the two cross-cutting facts rules keep needing:
+
+- **Directives** — the ``# lint: ...`` comment grammar, extracted with
+  :mod:`tokenize` so strings containing lint-like text never count:
+
+  - ``# lint: ok FAN001 FAN003 (reason)`` — suppress the named codes on
+    this line (or the directly following line, for statements whose
+    flagged node starts one line below the comment).  Codes optional:
+    a bare ``# lint: ok`` suppresses every rule.  The parenthesised
+    reason is free text, recommended so the suppression audits itself.
+  - ``# lint: loop-owned`` — declares the attribute assigned on this
+    line (or the function defined on it) as owned by the asyncio event
+    loop; rule FAN004 enforces the affinity.
+  - ``# lint: canonical-json`` — declares that every ``json.dumps`` in
+    this module feeds byte-stable artifacts or digests; rule FAN002
+    then requires ``sort_keys=True`` on each of them.
+
+- **Import aliases** — which local names are the ``json`` / ``hashlib``
+  / ``random`` / ``numpy`` / ... modules, so rules match ``import json
+  as json_module`` and friends instead of pattern-matching on literal
+  module names.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_DIRECTIVE_RE = re.compile(r"#\s*lint:\s*(?P<body>.+?)\s*$")
+_OK_RE = re.compile(
+    r"ok(?P<codes>(?:\s+FAN\d{3})*)\s*(?:\((?P<reason>.*)\))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``# lint:`` comment."""
+
+    kind: str  # "ok" | "loop-owned" | "canonical-json"
+    codes: frozenset[str] = frozenset()  # empty = all codes (kind "ok")
+    reason: str = ""
+
+
+@dataclass
+class FileContext:
+    """Parsed source plus directives and import aliases, rule-ready."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    directives: dict[int, Directive] = field(default_factory=dict)
+    #: local name -> imported module path (e.g. {"json_module": "json",
+    #: "np": "numpy", "dumps": "json.dumps"} — from-imports map the
+    #: bound name to the full dotted origin).
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str, tree: ast.Module) -> "FileContext":
+        ctx = cls(path=path, source=source, tree=tree)
+        ctx._collect_directives()
+        ctx._collect_aliases()
+        return ctx
+
+    # -- directives --------------------------------------------------------------
+
+    def _collect_directives(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (token.start[0], token.string)
+                for token in tokens
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # unparsable token stream: no directives, rules still run
+        for line, text in comments:
+            match = _DIRECTIVE_RE.search(text)
+            if match is None:
+                continue
+            directive = self._parse_directive(match.group("body"))
+            if directive is not None:
+                self.directives[line] = directive
+
+    @staticmethod
+    def _parse_directive(body: str) -> Directive | None:
+        if body.startswith("ok"):
+            match = _OK_RE.match(body)
+            if match is None:
+                return None
+            codes = frozenset(match.group("codes").split())
+            return Directive("ok", codes, (match.group("reason") or "").strip())
+        # Non-"ok" directives may carry trailing prose ("# lint:
+        # loop-owned — see the threading model"): only the first word
+        # is the keyword.
+        keyword = body.split()[0] if body.split() else ""
+        if keyword in ("loop-owned", "canonical-json"):
+            return Directive(keyword)
+        return None
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is inline-silenced at ``line``.
+
+        A suppression comment counts on its own line and on the line
+        directly above the flagged node, so long calls can carry the
+        comment on their opening line.
+        """
+        for at in (line, line - 1):
+            directive = self.directives.get(at)
+            if (
+                directive is not None
+                and directive.kind == "ok"
+                and (not directive.codes or code in directive.codes)
+            ):
+                return True
+        return False
+
+    def marked(self, line: int, kind: str) -> bool:
+        """Whether a non-``ok`` directive of ``kind`` sits on ``line``."""
+        directive = self.directives.get(line)
+        return directive is not None and directive.kind == kind
+
+    def declares(self, kind: str) -> bool:
+        """Whether the module carries a ``kind`` pragma anywhere."""
+        return any(d.kind == kind for d in self.directives.values())
+
+    # -- imports -----------------------------------------------------------------
+
+    def _collect_aliases(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    self.aliases[name.asname or name.name.split(".")[0]] = (
+                        name.name if name.asname else name.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    self.aliases[name.asname or name.name] = (
+                        f"{node.module}.{name.name}"
+                    )
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted module path of a Name/Attribute chain, alias-resolved.
+
+        ``json_module.dumps`` resolves to ``"json.dumps"`` under
+        ``import json as json_module``; ``np.random.default_rng`` to
+        ``"numpy.random.default_rng"``.  Returns ``None`` for anything
+        that is not a plain dotted chain rooted at an imported name.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))

@@ -1,0 +1,140 @@
+"""The lint engine: walk paths, parse once, run rules, fold the report.
+
+Self-hosting contract: this package lints the repository that ships it
+(a tier-1 test asserts ``src``/``tests``/``benchmarks`` are clean), so
+the engine itself obeys every rule it enforces — encodings pinned,
+no clocks in identity code, and so on.
+
+Baseline: ``--baseline FILE`` names a checked-in JSON audit of known
+findings (shape: ``{"accepted": [{"code": ..., "path": ...}, ...]}``).
+A finding matching an accepted ``(code, path basename)`` pair is
+reported but does not fail the gate — that is what let the gate land
+strict on day one while any residual debt was being burned down.  The
+repo's checked-in baseline is empty and should stay that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from pathlib import Path
+
+from ..errors import ConfigError, DataError
+from .context import FileContext
+from .findings import Finding, LintReport
+from .registry import Rule, selected_rules
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
+
+#: Findings about files that do not parse carry this pseudo-code.
+PARSE_ERROR_CODE = "FAN000"
+
+
+def expand_paths(paths: list[str | os.PathLike]) -> list[Path]:
+    """Every ``*.py`` file under ``paths``, sorted, each exactly once.
+
+    A named path that does not exist raises :class:`ConfigError` — a
+    typoed ``fannet lint srx`` must not report "clean".
+    """
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            out.add(path)
+        elif path.is_dir():
+            for file in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(file.parts):
+                    out.add(file)
+        else:
+            raise ConfigError(f"lint path {path} does not exist")
+    return sorted(out)
+
+
+def lint_file(path: Path, rules: list[Rule]) -> tuple[list[Finding], int]:
+    """``(live findings, suppressed count)`` for one source file."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as err:
+        return [
+            Finding(
+                path=str(path),
+                line=err.lineno or 0,
+                col=(err.offset or 0),
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {err.msg}",
+            )
+        ], 0
+    ctx = FileContext.build(str(path), source, tree)
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if ctx.suppressed(finding.line, finding.code):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def load_baseline(path: str | os.PathLike) -> set[tuple[str, str]]:
+    """Accepted ``(code, path basename)`` pairs from a baseline file.
+
+    Strict: an unreadable or malformed baseline raises
+    :class:`DataError` — a gate silently running without its audit
+    list would fail open.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as err:
+        raise DataError(f"cannot read lint baseline {path}: {err}") from None
+    except json.JSONDecodeError as err:
+        raise DataError(f"lint baseline {path} is not valid JSON: {err}") from None
+    accepted = payload.get("accepted") if isinstance(payload, dict) else None
+    if not isinstance(accepted, list):
+        raise DataError(
+            f"lint baseline {path} must be {{\"accepted\": [...]}}"
+        )
+    pairs: set[tuple[str, str]] = set()
+    for entry in accepted:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("code"), str)
+            or not isinstance(entry.get("path"), str)
+        ):
+            raise DataError(
+                f"lint baseline {path}: every entry needs string "
+                "'code' and 'path' fields"
+            )
+        pairs.add((entry["code"], Path(entry["path"]).name))
+    return pairs
+
+
+def lint_paths(
+    paths: list[str | os.PathLike],
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+    baseline: set[tuple[str, str]] | None = None,
+) -> LintReport:
+    """Run the selected rules over every file under ``paths``."""
+    try:
+        rules = selected_rules(select, ignore)
+    except ValueError as err:
+        raise ConfigError(str(err)) from None
+    report = LintReport()
+    baseline = baseline or set()
+    for path in expand_paths(paths):
+        findings, suppressed = lint_file(path, rules)
+        report.files += 1
+        report.suppressed += suppressed
+        for finding in findings:
+            if (finding.code, Path(finding.path).name) in baseline:
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort()
+    report.baselined.sort()
+    return report

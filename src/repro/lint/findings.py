@@ -1,0 +1,63 @@
+"""Finding and report containers of the invariant analyzer.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintReport` is everything one ``fannet lint`` invocation
+learned: live findings (these fail the gate), baselined findings
+(audited debt that does not), suppressed counts and the file census.
+Both render to plain JSON so CI can archive the gate's verdict as an
+artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: code, location, human-readable message."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The one-line human rendering (``path:line:col: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_payload(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one lint invocation found, gate-relevant first."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings matched by the baseline file: audited, reported, non-fatal.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Findings silenced by inline ``# lint: ok`` comments (count only).
+    suppressed: int = 0
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the gate passes (baselined debt does not fail it)."""
+        return not self.findings
+
+    def to_payload(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "findings": [f.to_payload() for f in self.findings],
+            "baselined": [f.to_payload() for f in self.baselined],
+        }

@@ -1,0 +1,80 @@
+"""The rule-plugin registry.
+
+A rule is a class with a ``code`` (``FANxxx``), a one-line ``summary``,
+a ``rationale`` (the bug class that motivated it — every rule in this
+repo exists because the bug actually shipped once), and a ``check``
+generator yielding :class:`~repro.lint.findings.Finding` objects for
+one :class:`~repro.lint.context.FileContext`.  Registration is a
+decorator so a rule module is self-contained: importing it is enough
+to make the rule selectable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .context import FileContext
+from .findings import Finding
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node, message: str) -> Finding:
+        """A Finding at ``node``'s location, tagged with this rule's code."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+#: code -> rule instance; populated by the @register decorator.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule to the registry (idempotent)."""
+    if not cls.code or not cls.code.startswith("FAN"):
+        raise ValueError(f"rule {cls.__name__} needs a FANxxx code")
+    RULES[cls.code] = cls()
+    return cls
+
+
+def iter_rules() -> list[Rule]:
+    """Every registered rule, code order."""
+    from . import rules  # noqa: F401 -- importing registers the built-ins
+
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def selected_rules(
+    select: set[str] | None = None, ignore: set[str] | None = None
+) -> list[Rule]:
+    """The rule set one invocation runs (``--select`` beats ``--ignore``).
+
+    Unknown codes raise ``ValueError`` — a typoed ``--select FAN01``
+    must not silently lint with nothing.
+    """
+    rules = iter_rules()
+    known = {rule.code for rule in rules}
+    for requested in (select or set()) | (ignore or set()):
+        if requested not in known:
+            raise ValueError(
+                f"unknown rule code {requested!r} (known: {', '.join(sorted(known))})"
+            )
+    if select:
+        rules = [rule for rule in rules if rule.code in select]
+    if ignore:
+        rules = [rule for rule in rules if rule.code not in ignore]
+    return rules

@@ -1,0 +1,15 @@
+"""Built-in lint rules.
+
+Importing this package registers every built-in rule with
+:mod:`repro.lint.registry`.  Each module is one rule targeting one bug
+class this repository has actually shipped — see the module docstrings
+for the war stories, and ``docs/lint-rules.md`` for the catalog.
+"""
+
+from __future__ import annotations
+
+from . import bool_int  # noqa: F401
+from . import canonical_json  # noqa: F401
+from . import determinism  # noqa: F401
+from . import encoding  # noqa: F401
+from . import loop_affinity  # noqa: F401

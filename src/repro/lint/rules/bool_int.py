@@ -1,0 +1,101 @@
+"""FAN003 — ``isinstance(x, int)`` validation that lets ``bool`` through.
+
+Motivating bug (PR 6): ``bool`` is a subclass of ``int``, so a ledger
+shard field of ``[true, true]`` parsed as shard ``(1, 1)`` and silently
+vouched for shard 1/1's results.  Any payload validation that means
+"integer" must exclude ``bool`` explicitly.
+
+Flags ``isinstance(X, int)`` (or a tuple classinfo containing ``int``
+but not ``bool``) when the enclosing function (or module scope) never
+tests ``isinstance(X, bool)`` for the same target expression.  The
+guard may live anywhere in the same scope — an early ``if
+isinstance(value, bool): raise`` a few lines up counts.  Explicitly
+accepting bools with ``isinstance(X, (int, bool))`` is not flagged:
+that is a decision, not an oversight.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+
+def _isinstance_parts(node: ast.Call) -> tuple[ast.expr, list[str]] | None:
+    """``(target, class names)`` of a plain isinstance call, else None."""
+    if (
+        not isinstance(node.func, ast.Name)
+        or node.func.id != "isinstance"
+        or len(node.args) != 2
+    ):
+        return None
+    target, classinfo = node.args
+    names: list[str] = []
+    specs = classinfo.elts if isinstance(classinfo, ast.Tuple) else [classinfo]
+    for spec in specs:
+        if isinstance(spec, ast.Name):
+            names.append(spec.id)
+        elif isinstance(spec, ast.Attribute):
+            names.append(spec.attr)
+    return target, names
+
+
+def _scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    """Every function scope plus the module scope (nested defs excluded
+    from their parent so a guard in an inner closure does not vouch for
+    the outer function)."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _calls_in_scope(body: list[ast.stmt]) -> Iterator[ast.Call]:
+    scope_breaks = (ast.FunctionDef, ast.AsyncFunctionDef)
+    stack = [stmt for stmt in body if not isinstance(stmt, scope_breaks)]
+    while stack:
+        node = stack.pop()
+        stack.extend(
+            child
+            for child in ast.iter_child_nodes(node)
+            if not isinstance(child, scope_breaks)  # nested scope: visited separately
+        )
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register
+class BoolIntRule(Rule):
+    code = "FAN003"
+    name = "bool-int"
+    summary = "isinstance(x, int) validation must exclude bool"
+    rationale = (
+        'bool ⊂ int: a ledger shard of [true, true] parsed as shard '
+        "(1, 1) and vouched for results it never saw (PR 6 bug class)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for _, body in _scopes(ctx.tree):
+            int_checks: list[tuple[ast.Call, ast.expr]] = []
+            bool_guarded: set[str] = set()
+            for call in _calls_in_scope(body):
+                parts = _isinstance_parts(call)
+                if parts is None:
+                    continue
+                target, names = parts
+                if "bool" in names:
+                    bool_guarded.add(ast.dump(target))
+                elif "int" in names:
+                    int_checks.append((call, target))
+            for call, target in int_checks:
+                if ast.dump(target) not in bool_guarded:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"isinstance({ast.unparse(target)}, int) accepts bool "
+                        "(bool ⊂ int) — add `not isinstance(..., bool)` or "
+                        "accept bools explicitly with (int, bool)",
+                    )

@@ -1,0 +1,94 @@
+"""FAN002 — raw ``json.dumps`` on a digest or canonical-artifact path.
+
+Motivating bug class: the campaign ledger digests the *canonical JSON
+rendering* of each task outcome (``sort_keys=True``), and the batch
+plane's byte-identical-merge guarantee holds only because every
+artifact writer serialises with sorted keys.  One raw ``json.dumps``
+reaching a digest flips ledger ``ok`` verdicts to ``corrupt`` the
+moment dict insertion order changes — a silent-state-corruption bug,
+not a crash.
+
+Flags:
+
+- in modules that declare the invariant with a ``# lint:
+  canonical-json`` pragma: every ``json.dumps`` / ``json.dump`` call
+  without ``sort_keys=True`` (a non-literal ``sort_keys=expr`` is
+  accepted — the module author is computing it deliberately);
+- in **every** module: a ``hashlib.<algo>(...)`` call whose argument
+  expression contains a ``json.dumps`` without ``sort_keys=True`` —
+  digesting unsorted JSON is wrong whether or not the module opted in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+_DUMPERS = ("json.dumps", "json.dump")
+
+
+def _is_dumps(ctx: FileContext, call: ast.Call) -> bool:
+    return ctx.resolve(call.func) in _DUMPERS
+
+
+def _sorts_keys(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "sort_keys":
+            if isinstance(keyword.value, ast.Constant):
+                return bool(keyword.value.value)
+            return True  # computed sort_keys: deliberate, accept
+        if keyword.arg is None:
+            return True  # **kwargs may carry it: undecidable, accept
+    return False
+
+
+@register
+class CanonicalJsonRule(Rule):
+    code = "FAN002"
+    name = "canonical-json"
+    summary = "digest/artifact JSON must serialise with sort_keys=True"
+    rationale = (
+        "a raw json.dumps feeding a SHA-256 ledger digest flips ok "
+        "verdicts to corrupt when dict insertion order changes"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        declaring = ctx.declares("canonical-json")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if declaring and _is_dumps(ctx, node) and not _sorts_keys(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "json.dumps without sort_keys=True in a module declaring "
+                    "# lint: canonical-json — artifacts here promise "
+                    "byte-stable serialisation",
+                )
+            elif not declaring:
+                yield from self._check_digest_feed(ctx, node)
+
+    def _check_digest_feed(
+        self, ctx: FileContext, call: ast.Call
+    ) -> Iterator[Finding]:
+        resolved = ctx.resolve(call.func)
+        if resolved is None or not resolved.startswith("hashlib."):
+            return
+        for arg in [*call.args, *[k.value for k in call.keywords]]:
+            for inner in ast.walk(arg):
+                if (
+                    isinstance(inner, ast.Call)
+                    and _is_dumps(ctx, inner)
+                    and not _sorts_keys(inner)
+                ):
+                    yield self.finding(
+                        ctx,
+                        inner,
+                        "json.dumps without sort_keys=True feeding a hashlib "
+                        "digest — the digest must not depend on dict "
+                        "insertion order",
+                    )

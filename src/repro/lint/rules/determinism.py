@@ -1,0 +1,111 @@
+"""FAN005 — nondeterminism inside fingerprint/digest/identity code.
+
+Motivating invariant: the entire byte-identical-artifact guarantee
+rests on fingerprints, digests and canonical payloads being pure
+functions of their inputs.  One ``time.time()`` or global-RNG draw
+inside that code and every cache context, task identity and ledger
+digest silently churns between runs — the reports still *look*
+plausible, they just stop being reproducible (silent state corruption,
+the failure mode the fault-tolerance literature warns about).
+
+Scope: functions whose name mentions ``fingerprint``, ``digest``,
+``identity``, ``canonical`` or ``jsonable`` (the repo's naming
+convention for identity-bearing code).  Inside them, flags calls to:
+
+- wall/process clocks — ``time.time``/``time_ns``/``monotonic``/
+  ``perf_counter`` (+ ``_ns`` variants), ``datetime.now``/``utcnow``/
+  ``today``;
+- process-global randomness — any ``random.*`` module call, the legacy
+  ``numpy.random.*`` global-state API (``np.random.seed``/``rand``/
+  ...), ``uuid.uuid1``/``uuid4``, ``os.urandom``, ``secrets.*``.
+
+Explicitly seeded numpy generators (``default_rng``, ``Generator``,
+``SeedSequence``, ``PCG64``, ``Philox``) are *allowed*: deriving a
+seed from ``(base_seed, index)`` through ``SeedSequence`` is exactly
+how this repo keeps stochastic engines deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+_SCOPE_RE = re.compile(r"fingerprint|digest|identity|canonical|jsonable")
+
+_CLOCKS = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.clock_gettime",
+    }
+)
+_BANNED_EXACT = frozenset({"uuid.uuid1", "uuid.uuid4", "os.urandom"})
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+#: Seeded-generator constructors the numpy.random namespace may provide.
+_NUMPY_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+     "MT19937", "BitGenerator"}
+)
+
+
+def _violation(resolved: str) -> str | None:
+    """Why ``resolved`` (a dotted call target) is nondeterministic."""
+    if resolved in _CLOCKS:
+        return "reads the clock"
+    if resolved in _BANNED_EXACT:
+        return "draws entropy from the OS"
+    parts = resolved.split(".")
+    if parts[-1] in _DATETIME_FNS and "datetime" in parts[:-1] or (
+        parts[0] == "datetime" and parts[-1] in _DATETIME_FNS
+    ):
+        return "reads the clock"
+    if parts[0] == "random":
+        return "uses the process-global random stream"
+    if parts[0] == "secrets":
+        return "draws entropy from the OS"
+    if (
+        parts[0] == "numpy"
+        and len(parts) >= 3
+        and parts[1] == "random"
+        and parts[2] not in _NUMPY_ALLOWED
+    ):
+        return "uses numpy's process-global random state"
+    return None
+
+
+@register
+class DeterminismRule(Rule):
+    code = "FAN005"
+    name = "determinism"
+    summary = "no clocks or global RNG inside identity-bearing code"
+    rationale = (
+        "a clock read or global-RNG draw inside fingerprint/digest code "
+        "churns every cache context and ledger digest between runs"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _SCOPE_RE.search(node.name):
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                resolved = ctx.resolve(call.func)
+                if resolved is None:
+                    continue
+                why = _violation(resolved)
+                if why is not None:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"{resolved}() {why} inside identity-bearing "
+                        f"function {node.name}() — fingerprints, digests "
+                        "and canonical payloads must be pure functions of "
+                        "their inputs",
+                    )

@@ -1,0 +1,112 @@
+"""FAN001 — text I/O without a pinned encoding.
+
+Motivating bug (PR 6): campaign ledgers written as UTF-8 were read back
+with ``Path.read_text()`` — locale-dependent — so a resume on a machine
+with a non-UTF-8 locale silently degraded into full re-execution (or,
+worse, mis-decoded artifact bytes feeding digest checks).  Every text
+read/write of an artifact must pin ``encoding="utf-8"``.
+
+Flags:
+
+- ``X.read_text()`` / ``X.write_text(data)`` without an encoding
+  argument (positional or keyword), or with a literal ``encoding=None``;
+- builtin ``open(...)`` / ``io.open(...)`` in text mode (no ``"b"`` in
+  a literal mode string, or no mode at all) without an encoding.
+
+A non-literal mode expression is skipped — the rule only claims what it
+can prove from the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+
+def _has_encoding_kw(call: ast.Call) -> bool | None:
+    """True/False when decidable; None when ``encoding=<non-literal None>``
+    style dynamism makes the call undecidable (skip, do not guess)."""
+    for keyword in call.keywords:
+        if keyword.arg == "encoding":
+            if isinstance(keyword.value, ast.Constant) and keyword.value.value is None:
+                return False  # encoding=None is the locale default, spelled out
+            return True
+        if keyword.arg is None:
+            return None  # **kwargs may carry encoding: undecidable
+    return False
+
+
+def _literal_mode(call: ast.Call) -> str | None:
+    """The mode string of an ``open`` call when it is a literal."""
+    mode_node: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if mode_node is None:
+        return "r"  # open() defaults to text read
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None  # dynamic mode: not decidable
+
+
+@register
+class EncodingPinRule(Rule):
+    code = "FAN001"
+    name = "encoding-pin"
+    summary = 'text-mode I/O must pin encoding="utf-8"'
+    rationale = (
+        "locale-dependent read_text() on a UTF-8 JSON ledger silently "
+        "degraded resume into full re-execution (PR 6 bug class)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "read_text",
+                "write_text",
+            ):
+                yield from self._check_text_helper(ctx, node, func.attr)
+            elif (isinstance(func, ast.Name) and func.id == "open") or (
+                ctx.resolve(func) == "io.open"
+            ):
+                yield from self._check_open(ctx, node)
+
+    def _check_text_helper(
+        self, ctx: FileContext, call: ast.Call, name: str
+    ) -> Iterator[Finding]:
+        # Path.read_text(encoding=...) / Path.write_text(data, encoding=...):
+        # the encoding is also reachable positionally.
+        positional_encoding = len(call.args) >= (1 if name == "read_text" else 2)
+        if positional_encoding:
+            return
+        pinned = _has_encoding_kw(call)
+        if pinned is False:
+            yield self.finding(
+                ctx,
+                call,
+                f'{name}() without encoding= — text artifacts must pin '
+                'encoding="utf-8", never the locale default',
+            )
+
+    def _check_open(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        mode = _literal_mode(call)
+        if mode is None or "b" in mode:
+            return  # binary (or undecidable) mode needs no encoding
+        if len(call.args) >= 4:  # open(file, mode, buffering, encoding, ...)
+            return
+        if _has_encoding_kw(call) is False:
+            yield self.finding(
+                ctx,
+                call,
+                f'open(..., mode={mode!r}) in text mode without encoding= — '
+                'pin encoding="utf-8" or use binary mode',
+            )

@@ -1,0 +1,193 @@
+"""FAN004 — mutation of loop-owned state from non-coroutine code.
+
+Motivating bug (PR 7): worker threads evicted finished jobs from the
+serve daemon's registry dict directly, racing the event-loop thread's
+``summaries()`` iteration — a crash that only fires under concurrent
+load.  The fix marshals every registry mutation through
+``loop.call_soon_threadsafe``; this rule keeps it that way.
+
+The rule is declaration-driven (it fires nowhere until a class opts
+in), which is what makes it precise enough to gate CI:
+
+- an attribute assignment carrying ``# lint: loop-owned`` in a class
+  body declares that attribute's *structure* as owned by the asyncio
+  event loop;
+- a ``def`` line carrying ``# lint: loop-owned`` declares the method
+  as loop-affine (it is only ever invoked on the loop thread — from a
+  coroutine, or via ``call_soon_threadsafe``).
+
+With declarations present, the rule flags, inside the declaring class:
+
+- any mutation of a loop-owned attribute — assignment, augmented
+  assignment, ``del``, subscript writes, or calls of known mutating
+  container methods (``append``/``pop``/``update``/...) — from a
+  plain (non-``async``, unmarked) method;
+- any *direct call* of a loop-owned method from a plain unmarked
+  method — the exact shape of the PR-7 race.  Passing the method as a
+  callback (``loop.call_soon_threadsafe(self._evict, ...)``) is a
+  reference, not a call, and is allowed.
+
+``async def`` methods run on the loop by definition; ``__init__`` runs
+before any concurrency exists.  Both are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Container methods that mutate their receiver's structure.
+_MUTATORS = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "remove", "pop",
+        "popleft", "popitem", "clear", "update", "setdefault", "add",
+        "discard", "put_nowait", "sort", "reverse",
+    }
+)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is exactly ``self.X``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attr(target: ast.expr) -> str | None:
+    """``X`` when ``target`` writes ``self.X`` or ``self.X[...]``."""
+    attr = _self_attr(target)
+    if attr is not None:
+        return attr
+    if isinstance(target, ast.Subscript):
+        return _self_attr(target.value)
+    return None
+
+
+def _walk_sync(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested ``async def`` bodies
+    (those run on the loop and must not inherit the caller's verdict)."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        stack.extend(
+            child
+            for child in ast.iter_child_nodes(node)
+            if not isinstance(child, ast.AsyncFunctionDef)
+        )
+        yield node
+
+
+@register
+class LoopAffinityRule(Rule):
+    code = "FAN004"
+    name = "loop-affinity"
+    summary = "loop-owned state mutated outside the event-loop thread"
+    rationale = (
+        "worker threads resizing the serve registry dict raced the "
+        "loop's iteration (PR 7 bug class); mutations must marshal "
+        "through call_soon_threadsafe"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        owned_attrs: set[str] = set()
+        declaration_lines: set[int] = set()
+        for method in methods:
+            for stmt in ast.walk(method):
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    if not ctx.marked(stmt.lineno, "loop-owned"):
+                        continue
+                    targets = (
+                        stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                    )
+                    for target in targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            owned_attrs.add(attr)
+                            declaration_lines.add(stmt.lineno)
+        owned_methods = {
+            method.name for method in methods if ctx.marked(method.lineno, "loop-owned")
+        }
+        if not owned_attrs and not owned_methods:
+            return
+        for method in methods:
+            if isinstance(method, ast.AsyncFunctionDef):
+                continue  # coroutines run on the loop by definition
+            if method.name in owned_methods or method.name == "__init__":
+                continue
+            yield from self._check_method(
+                ctx, method, owned_attrs, owned_methods, declaration_lines
+            )
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        method: ast.FunctionDef,
+        owned_attrs: set[str],
+        owned_methods: set[str],
+        declaration_lines: set[int],
+    ) -> Iterator[Finding]:
+        for node in _walk_sync(method):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if node.lineno in declaration_lines:
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = _mutated_attr(target)
+                    if attr in owned_attrs:
+                        yield self._race(ctx, node, attr, method.name, "writes")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = _mutated_attr(target)
+                    if attr in owned_attrs:
+                        yield self._race(ctx, node, attr, method.name, "deletes from")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                receiver = _self_attr(node.func.value)
+                if receiver in owned_attrs and node.func.attr in _MUTATORS:
+                    yield self._race(
+                        ctx,
+                        node,
+                        receiver,
+                        method.name,
+                        f"calls .{node.func.attr}() on",
+                    )
+                called = _self_attr(node.func)
+                if called in owned_methods:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{method.name}() calls loop-owned method "
+                        f"self.{called}() directly — marshal through "
+                        "loop.call_soon_threadsafe (or mark the caller "
+                        "# lint: loop-owned if it only runs on the loop)",
+                    )
+
+    def _race(
+        self, ctx: FileContext, node, attr: str, method: str, verb: str
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"{method}() {verb} loop-owned self.{attr} from non-coroutine "
+            "code — marshal through loop.call_soon_threadsafe (or mark "
+            "the method # lint: loop-owned if it only runs on the loop)",
+        )

@@ -6,6 +6,8 @@ identical object — important because the formal results in EXPERIMENTS.md
 are tied to specific trained parameters.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import json
@@ -61,7 +63,8 @@ def network_from_dict(payload: dict) -> Network:
 def save_network(network: Network, path: str | Path) -> None:
     """Write ``network`` as JSON to ``path``."""
     Path(path).write_text(
-        json.dumps(network_to_dict(network), indent=2), encoding="utf-8"
+        json.dumps(network_to_dict(network), indent=2, sort_keys=True),
+        encoding="utf-8",
     )
 
 

@@ -95,8 +95,16 @@ def _info_for(path: Path) -> StoreFileInfo:
         mtime_ns=stat.st_mtime_ns,
         ok=True,
         context=header.get("context"),
-        version=version if isinstance(version, int) else None,
-        entries=entries if isinstance(entries, int) else None,
+        version=(
+            version
+            if isinstance(version, int) and not isinstance(version, bool)
+            else None
+        ),
+        entries=(
+            entries
+            if isinstance(entries, int) and not isinstance(entries, bool)
+            else None
+        ),
         has_engine_stats=isinstance(header.get("engine_stats"), dict),
     )
 

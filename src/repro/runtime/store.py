@@ -113,9 +113,12 @@ def _valid_key(key: Any) -> bool:
         and len(key) == 6
         and isinstance(key[0], str)
         and isinstance(key[1], int)
+        and not isinstance(key[1], bool)
         and isinstance(key[2], tuple)
         and isinstance(key[3], int)
+        and not isinstance(key[3], bool)
         and isinstance(key[4], int)
+        and not isinstance(key[4], bool)
     )
 
 

@@ -13,7 +13,7 @@ from ..errors import SatError
 
 
 def _check_literal(literal: int) -> None:
-    if not isinstance(literal, int) or literal == 0:
+    if not isinstance(literal, int) or isinstance(literal, bool) or literal == 0:
         raise SatError(f"invalid literal {literal!r}; literals are non-zero ints")
 
 

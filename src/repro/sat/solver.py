@@ -145,7 +145,11 @@ class CdclSolver:
         seen: set[int] = set()
         clause: list[int] = []
         for literal in literals:
-            if not isinstance(literal, int) or literal == 0:
+            if (
+                not isinstance(literal, int)
+                or isinstance(literal, bool)
+                or literal == 0
+            ):
                 raise SatError(f"invalid literal {literal!r}")
             self.ensure_vars(abs(literal))
             if -literal in seen:

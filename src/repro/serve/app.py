@@ -39,6 +39,8 @@ same planner/runtime path as the CLI, so an HTTP-submitted ladder is
 bit-identical to its ``fannet batch run`` equivalent.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import asyncio

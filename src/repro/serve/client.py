@@ -20,6 +20,8 @@ downstream consumer (``status``, ``merge``, resume) works unchanged,
 and CI byte-compares the two paths to keep it that way.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import json
@@ -83,7 +85,7 @@ class ServeClient:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
             headers["Content-Type"] = "application/json"
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:

@@ -21,6 +21,8 @@ daemon actually uses lives here, small enough to audit:
 message; the connection handler turns it into a JSON error body.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import asyncio

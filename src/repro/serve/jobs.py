@@ -140,15 +140,15 @@ class JobQueue:
         self.max_pending = max_pending
         self.done_retention = done_retention
         self.journal = journal
-        self.jobs: dict[str, Job] = {}
+        self.jobs: dict[str, Job] = {}  # lint: loop-owned
         self._pending: asyncio.Queue[str] = asyncio.Queue()
         #: Queued-and-live count; unlike ``_pending.qsize()`` it drops
         #: the moment a queued job is cancelled, so cancellation
         #: restores admission capacity instead of holding a slot until
         #: a worker drains the stale entry.
-        self._pending_live = 0
+        self._pending_live = 0  # lint: loop-owned
         self._ids = itertools.count(1)
-        self._finished_order: list[str] = []
+        self._finished_order: list[str] = []  # lint: loop-owned
         self._loop: asyncio.AbstractEventLoop | None = None
 
     def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
@@ -162,7 +162,7 @@ class JobQueue:
         """Jobs admitted but not yet picked up by a worker."""
         return self._pending_live
 
-    def submit(self, kind: str, payload: dict) -> Job:
+    def submit(self, kind: str, payload: dict) -> Job:  # lint: loop-owned
         """Admit one job or shed it with :class:`QueueFullError`."""
         if self._pending_live >= self.max_pending:
             raise QueueFullError(pending=self._pending_live)
@@ -181,7 +181,7 @@ class JobQueue:
         self._pending.put_nowait(job.id)
         return job
 
-    def restore(self, replayed) -> Job:
+    def restore(self, replayed) -> Job:  # lint: loop-owned
         """Re-admit one journal-replayed job (daemon boot, loop thread).
 
         Bypasses the ``max_pending`` check — these jobs were admitted
@@ -227,7 +227,7 @@ class JobQueue:
     def get(self, job_id: str) -> Job | None:
         return self.jobs.get(job_id)
 
-    def cancel(self, job_id: str) -> Job | None:
+    def cancel(self, job_id: str) -> Job | None:  # lint: loop-owned
         """Request cancellation; queued jobs terminate immediately."""
         job = self.jobs.get(job_id)
         if job is None:
@@ -265,9 +265,9 @@ class JobQueue:
                 return
             except RuntimeError:
                 pass  # loop tearing down: evict inline, nothing races it
-        self._evict_finished(job.id)
+        self._evict_finished(job.id)  # lint: ok FAN004 (loop closed or absent: nothing left to race)
 
-    def _evict_finished(self, job_id: str) -> None:
+    def _evict_finished(self, job_id: str) -> None:  # lint: loop-owned
         self._finished_order.append(job_id)
         while len(self._finished_order) > self.done_retention:
             evicted = self._finished_order.pop(0)

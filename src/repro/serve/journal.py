@@ -49,6 +49,8 @@ by compaction; it only ever described executions that either finished
 (superseded by the terminal record) or will re-run.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import json

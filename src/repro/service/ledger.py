@@ -39,6 +39,8 @@ so a shard killed mid-campaign keeps the ledger for every job it
 finished.
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import hashlib

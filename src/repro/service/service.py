@@ -36,6 +36,8 @@ engine seeds from ``(verifier seed, input index)``, and the cache can
 never move a result.)
 """
 
+# lint: canonical-json — every JSON payload this module emits is
+# digest- or artifact-bound and must serialise byte-stably.
 from __future__ import annotations
 
 import json

@@ -157,8 +157,11 @@ class EngineStats:
             )
             if (
                 isinstance(attempts, int)
+                and not isinstance(attempts, bool)
                 and isinstance(decided, int)
+                and not isinstance(decided, bool)
                 and isinstance(wall_s, (int, float))
+                and not isinstance(wall_s, bool)
                 and 0 <= decided <= attempts
                 and wall_s >= 0
             ):

@@ -79,7 +79,7 @@ class TestRecords:
 
     def test_bad_file(self, tmp_path):
         path = tmp_path / "bad.json"
-        path.write_text("{")
+        path.write_text("{", encoding="utf-8")
         with pytest.raises(DataError):
             load_record(path)
 

@@ -135,7 +135,7 @@ class TestLedger:
     )
     def test_unusable_ledgers_load_as_none(self, tmp_path, payload):
         path = tmp_path / "bad.ledger.json"
-        path.write_text(payload)
+        path.write_text(payload, encoding="utf-8")
         assert CampaignLedger.load(path) is None
 
     def test_missing_ledger_loads_as_none(self, tmp_path):
@@ -192,7 +192,7 @@ class TestStatusTriage:
         service = BatchService(campaign())
         service.run_shard(0, 1, tmp_path)
         path = tmp_path / shard_file_name("tol", 0, 1)
-        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        path.write_text(path.read_text(encoding="utf-8")[: len(path.read_text(encoding="utf-8")) // 2], encoding="utf-8")
         status = service.status(tmp_path)
         assert not status.complete
         by_job = {job.job: job for job in status.jobs}
@@ -203,10 +203,10 @@ class TestStatusTriage:
         service = BatchService(campaign())
         service.run_shard(0, 1, tmp_path)
         ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
-        payload = json.loads(ledger_path.read_text())
+        payload = json.loads(ledger_path.read_text(encoding="utf-8"))
         victim = f"tol/tolerance/i{EARLY_FLIP}"
         payload["tasks"][victim]["digest"] = "0" * 64
-        ledger_path.write_text(json.dumps(payload))
+        ledger_path.write_text(json.dumps(payload), encoding="utf-8")
         status = service.status(tmp_path)
         by_job = {job.job: job for job in status.jobs}
         assert by_job["tol"].corrupt == [victim]
@@ -216,9 +216,9 @@ class TestStatusTriage:
         service = BatchService(campaign())
         service.run_shard(0, 1, tmp_path)
         ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
-        payload = json.loads(ledger_path.read_text())
+        payload = json.loads(ledger_path.read_text(encoding="utf-8"))
         payload["contexts"]["tol"] = "deadbeef:cafebabe"
-        ledger_path.write_text(json.dumps(payload))
+        ledger_path.write_text(json.dumps(payload), encoding="utf-8")
         status = service.status(tmp_path)
         by_job = {job.job: job for job in status.jobs}
         assert len(by_job["tol"].stale) == 2
@@ -230,9 +230,9 @@ class TestStatusTriage:
         service = BatchService(campaign())
         service.run_shard(0, 1, tmp_path)
         path = tmp_path / shard_file_name("tol", 0, 1)
-        payload = json.loads(path.read_text())
+        payload = json.loads(path.read_text(encoding="utf-8"))
         payload["job"]["context"] = "deadbeef:cafebabe"
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(payload), encoding="utf-8")
         status = service.status(tmp_path)
         by_job = {job.job: job for job in status.jobs}
         assert len(by_job["tol"].stale) == 2
@@ -247,9 +247,9 @@ class TestStatusTriage:
         service = BatchService(campaign())
         service.run_shard(0, 1, tmp_path)
         path = tmp_path / shard_file_name("tol", 0, 1)
-        payload = json.loads(path.read_text())
+        payload = json.loads(path.read_text(encoding="utf-8"))
         payload["job"]["sliced_inputs"] = 99  # context untouched
-        path.write_text(json.dumps(payload))
+        path.write_text(json.dumps(payload), encoding="utf-8")
         status = service.status(tmp_path)
         assert not status.complete
         assert len(status.rerun) == 2  # the remedy is actionable
@@ -273,13 +273,13 @@ class TestStatusTriage:
         service = BatchService(campaign())
         service.run_shard(0, 1, tmp_path)
         path = tmp_path / shard_file_name("tol", 0, 1)
-        payload = json.loads(path.read_text())
+        payload = json.loads(path.read_text(encoding="utf-8"))
         identity = f"tol/tolerance/i{EARLY_FLIP}"
         payload["results"][identity] = dict(
             payload["results"][identity], queries=999
         )
         payload["shard"] = [1, 2]
-        (tmp_path / shard_file_name("tol", 0, 2)).write_text(json.dumps(payload))
+        (tmp_path / shard_file_name("tol", 0, 2)).write_text(json.dumps(payload), encoding="utf-8")
         status = service.status(tmp_path)
         assert not status.complete
         assert any("disagree" in problem for problem in status.problems)
@@ -369,10 +369,10 @@ class TestResumeByteIdentical:
         service = BatchService(campaign())
         first = service.run_shard(0, 1, tmp_path)
         ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
-        payload = json.loads(ledger_path.read_text())
+        payload = json.loads(ledger_path.read_text(encoding="utf-8"))
         victim = f"tol/tolerance/i{EARLY_FLIP}"
         payload["tasks"][victim]["digest"] = "f" * 64
-        ledger_path.write_text(json.dumps(payload))
+        ledger_path.write_text(json.dumps(payload), encoding="utf-8")
         report = service.run_shard(0, 1, tmp_path, resume=True)
         assert report.executed == 1  # exactly the corrupted task
         assert report.reused == first.executed - 1
@@ -384,10 +384,10 @@ class TestResumeByteIdentical:
         service = BatchService(campaign())
         service.run_shard(0, 1, tmp_path)
         ledger_path = tmp_path / ledger_file_name("resume", 0, 1)
-        payload = json.loads(ledger_path.read_text())
+        payload = json.loads(ledger_path.read_text(encoding="utf-8"))
         payload["tasks"]["ghost/tolerance/i99"] = {"job": "ghost", "digest": "a" * 64}
         payload["contexts"]["ghost"] = "ghost-context"
-        ledger_path.write_text(json.dumps(payload))
+        ledger_path.write_text(json.dumps(payload), encoding="utf-8")
         (tmp_path / shard_file_name("tol", 0, 1)).unlink()
         service.run_shard(0, 1, tmp_path, resume=True)
         after = CampaignLedger.load(ledger_path)
@@ -412,7 +412,7 @@ class TestResumeByteIdentical:
 class TestStatusCli:
     def _manifest(self, tmp_path) -> str:
         path = tmp_path / "resume.json"
-        path.write_text(json.dumps(campaign().to_dict()))
+        path.write_text(json.dumps(campaign().to_dict()), encoding="utf-8")
         return str(path)
 
     def test_status_exit_codes_and_listing(self, tmp_path, capsys):
@@ -435,7 +435,7 @@ class TestStatusCli:
         assert main(["batch", "run", manifest, "--out", out_dir]) == 0
         target = tmp_path / "status.json"
         assert main(["batch", "status", manifest, out_dir, "--json", str(target)]) == 0
-        payload = json.loads(target.read_text())
+        payload = json.loads(target.read_text(encoding="utf-8"))
         assert payload["complete"] is True
         assert {job["job"] for job in payload["jobs"]} == {"tol", "probes"}
 

@@ -64,7 +64,7 @@ class TestSpecValidation:
     def test_round_trips_through_a_json_manifest(self, tmp_path):
         spec = small_spec()
         path = tmp_path / "batch.json"
-        path.write_text(json.dumps(spec.to_dict()))
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
         assert BatchSpec.from_manifest(path) == spec
 
     def test_loads_a_toml_manifest(self, tmp_path):
@@ -87,7 +87,8 @@ split = "test"
 stop = 3
 [jobs.analyses.tolerance]
 ceiling = 8
-"""
+""",
+            encoding="utf-8",
         )
         spec = BatchSpec.from_manifest(path)
         assert spec.name == "toml-batch"
@@ -100,11 +101,11 @@ ceiling = 8
         with pytest.raises(DataError, match="cannot read"):
             BatchSpec.from_manifest(tmp_path / "absent.json")
         bad_json = tmp_path / "bad.json"
-        bad_json.write_text("{not json")
+        bad_json.write_text("{not json", encoding="utf-8")
         with pytest.raises(DataError, match="not valid JSON"):
             BatchSpec.from_manifest(bad_json)
         bad_toml = tmp_path / "bad.toml"
-        bad_toml.write_text("version = = 1")
+        bad_toml.write_text("version = = 1", encoding="utf-8")
         with pytest.raises(DataError, match="not valid TOML"):
             BatchSpec.from_manifest(bad_toml)
 
@@ -289,7 +290,7 @@ class TestMergeFailurePaths:
     def test_unreadable_shard_file_refuses_to_merge(self, tmp_path):
         service = BatchService(small_spec())
         service.run_shard(0, 1, tmp_path)
-        next(iter(tmp_path.glob("*.json"))).write_text("{broken")
+        next(iter(tmp_path.glob("*.json"))).write_text("{broken", encoding="utf-8")
         with pytest.raises(DataError, match="unreadable"):
             service.merge(tmp_path)
 
@@ -375,7 +376,7 @@ class TestFileNetworks:
 class TestBatchCli:
     def _manifest(self, tmp_path) -> str:
         path = tmp_path / "batch.json"
-        path.write_text(json.dumps(small_spec().to_dict()))
+        path.write_text(json.dumps(small_spec().to_dict()), encoding="utf-8")
         return str(path)
 
     def test_plan_prints_the_shard_table(self, tmp_path, capsys):
@@ -405,7 +406,7 @@ class TestBatchCli:
 
     def test_corrupt_manifest_exits_with_an_error(self, tmp_path, capsys):
         path = tmp_path / "broken.json"
-        path.write_text("{not json")
+        path.write_text("{not json", encoding="utf-8")
         assert main(["batch", "plan", str(path)]) == 1
         assert "not valid JSON" in capsys.readouterr().err
 
@@ -464,6 +465,7 @@ class TestJsonable:
         assert _jsonable({np.int64(4): "np-keyed"}) == {4: "np-keyed"}
         blob = json.dumps(converted, sort_keys=True)  # must not raise
         assert isinstance(converted["index"], int)
+        assert not isinstance(converted["index"], bool)
         assert isinstance(converted["median"], float)
         assert isinstance(converted["flag"], bool)
         assert "7" in blob

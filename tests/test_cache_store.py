@@ -291,7 +291,7 @@ class TestConcurrency:
 
     def test_failed_write_warns_and_returns_none(self, tmp_path, entries):
         blocker = tmp_path / "blocked"
-        blocker.write_text("a file where the store wants a directory")
+        blocker.write_text("a file where the store wants a directory", encoding="utf-8")
         store = CacheStore(blocker / "sub")
         with pytest.warns(CacheStoreWarning):
             assert store.save(CONTEXT, entries) is None
@@ -299,7 +299,7 @@ class TestConcurrency:
 
     def test_unreadable_path_warns_and_degrades(self, tmp_path, entries):
         blocker = tmp_path / "blocked"
-        blocker.write_text("plain file")
+        blocker.write_text("plain file", encoding="utf-8")
         store = CacheStore(blocker / "sub")  # path_for() traverses a file
         with pytest.warns(CacheStoreWarning):
             assert store.load(CONTEXT) == {}

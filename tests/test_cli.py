@@ -21,7 +21,7 @@ class TestCli:
     def test_translate_writes_smv(self, tmp_path, capsys):
         out = tmp_path / "model.smv"
         assert main(["translate", "--noise", "1", "--output", str(out)]) == 0
-        text = out.read_text()
+        text = out.read_text(encoding="utf-8")
         assert text.startswith("MODULE fannet")
         assert "INVARSPEC" in text
 
@@ -37,7 +37,8 @@ ASSIGN
   next(n) := case n < 3 : n + 1; TRUE : 0; esac;
 INVARSPEC n <= 3;
 INVARSPEC n <= 1;
-"""
+""",
+            encoding="utf-8",
         )
         code = main(["check", str(model), "--engine", "explicit"])
         out = capsys.readouterr().out
@@ -47,12 +48,12 @@ INVARSPEC n <= 1;
 
     def test_check_model_without_specs(self, tmp_path, capsys):
         model = tmp_path / "empty.smv"
-        model.write_text("MODULE main VAR x : boolean;")
+        model.write_text("MODULE main VAR x : boolean;", encoding="utf-8")
         assert main(["check", str(model)]) == 1
 
     def test_check_reports_parse_error_gracefully(self, tmp_path, capsys):
         model = tmp_path / "broken.smv"
-        model.write_text("MODULE main VAR x : ;")
+        model.write_text("MODULE main VAR x : ;", encoding="utf-8")
         assert main(["check", str(model)]) == 1
         assert "error:" in capsys.readouterr().err
 
@@ -144,7 +145,7 @@ class TestCliCacheLifecycle:
     def test_list_shows_contexts_entries_and_junk(self, tmp_path, capsys):
         self._store_files(tmp_path)
         (tmp_path / "junk.qcache").write_bytes(b"garbage")
-        (tmp_path / "unrelated.txt").write_text("not scanned")
+        (tmp_path / "unrelated.txt").write_text("not scanned", encoding="utf-8")
         assert main(["cache", "list", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "aaaa1111:bbbb2222" in out and "cccc3333:dddd4444" in out
@@ -214,7 +215,7 @@ class TestCliCacheLifecycle:
         junk = tmp_path / "junk.qcache"
         junk.write_bytes(b"garbage")
         note = tmp_path / "README.txt"
-        note.write_text("docs")
+        note.write_text("docs", encoding="utf-8")
         assert main(["cache", "prune", str(tmp_path), "--max-cache-bytes", "0"]) == 0
         out = capsys.readouterr().out
         assert "evicted 2 file(s)" in out

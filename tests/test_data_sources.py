@@ -63,7 +63,7 @@ def write_csv(path, features, labels, header=None, label_at=None):
         cells = [str(v) for v in x]
         cells.insert(label_at if label_at is not None else len(cells), str(y))
         rows.append(",".join(cells))
-    path.write_text("\n".join(rows) + "\n")
+    path.write_text("\n".join(rows) + "\n", encoding="utf-8")
 
 
 # -- property-based round trips -------------------------------------------------
@@ -144,7 +144,7 @@ class TestRoundTrips:
 class TestMalformedCsv:
     def _source(self, tmp_path, text, **kwargs) -> CsvSource:
         path = tmp_path / "bad.csv"
-        path.write_text(text)
+        path.write_text(text, encoding="utf-8")
         return CsvSource(str(path), **kwargs)
 
     def test_ragged_rows(self, tmp_path):
@@ -403,6 +403,6 @@ class TestServiceIntegration:
 
         path = case_study_csv(tmp_path, (10, 0))
         manifest = tmp_path / "m.json"
-        manifest.write_text(json.dumps(csv_campaign(path).to_dict()))
+        manifest.write_text(json.dumps(csv_campaign(path).to_dict()), encoding="utf-8")
         assert main(["batch", "plan", str(manifest)]) == 0
         assert "csv-camp" in capsys.readouterr().out

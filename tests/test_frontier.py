@@ -429,6 +429,7 @@ class TestDtypeAnalysisCoversPartialSums:
             # not a wrapped one: recompute it exactly on the corner the
             # bound selects (diff = ±2000·x, act* within the box).
             assert isinstance(result.stats["margin"], int)
+            assert not isinstance(result.stats["margin"], bool)
 
     def test_case_study_queries_keep_the_fast_path(self, substrate):
         network, dataset = substrate

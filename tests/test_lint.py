@@ -1,0 +1,503 @@
+"""Tests for ``fannet lint`` (:mod:`repro.lint`) — and the self-host gate.
+
+Two layers:
+
+- **Fixture tests** — each rule gets seeded-violation sources that must
+  flag (with the right code and line) and near-miss sources that must
+  stay silent.  These are the regression harness for the analyzer
+  itself: the flagged snippets are distilled from bugs this repo
+  actually shipped.
+- **Self-hosting** — the repository lints itself clean.  That single
+  test is the teeth of the whole subsystem: reintroduce any motivating
+  bug anywhere under ``src``/``tests``/``benchmarks`` and tier-1 fails
+  with the offending ``FANxxx`` finding in the assertion message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError, DataError
+from repro.lint import (
+    LintReport,
+    expand_paths,
+    iter_rules,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    selected_rules,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_source(tmp_path, source: str, **kwargs) -> LintReport:
+    """Lint one in-memory module and return the report."""
+    path = tmp_path / "sample.py"
+    path.write_text(source, encoding="utf-8")
+    return lint_paths([path], **kwargs)
+
+
+def codes_at(report: LintReport) -> set[tuple[str, int]]:
+    return {(f.code, f.line) for f in report.findings}
+
+
+# ---------------------------------------------------------------------------
+# FAN001 — encoding pins
+# ---------------------------------------------------------------------------
+
+
+class TestEncodingPin:
+    def test_flags_bare_read_and_write_text(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "p = Path('x')\n"
+            "p.write_text('data')\n"
+            "body = p.read_text()\n",
+        )
+        assert codes_at(report) == {("FAN001", 3), ("FAN001", 4)}
+
+    def test_flags_text_mode_open_without_encoding(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "f = open('x')\n"                      # implicit mode="r": text
+            "g = open('x', 'w')\n"                 # explicit text mode
+            "h = open('x', 'rb')\n"                # binary: exempt
+            "i = open('x', 'r', encoding='utf-8')\n",
+        )
+        assert codes_at(report) == {("FAN001", 1), ("FAN001", 2)}
+
+    def test_accepts_pinned_calls(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "p = Path('x')\n"
+            "p.write_text('data', encoding='utf-8')\n"
+            "body = p.read_text(encoding='utf-8')\n"
+            "raw = p.read_bytes()\n",
+        )
+        assert report.clean
+
+    def test_flags_explicit_encoding_none(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "Path('x').read_text(encoding=None)\n",
+        )
+        assert codes_at(report) == {("FAN001", 2)}
+
+
+# ---------------------------------------------------------------------------
+# FAN002 — canonical JSON
+# ---------------------------------------------------------------------------
+
+
+class TestCanonicalJson:
+    def test_pragma_module_requires_sort_keys(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "# lint: canonical-json\n"
+            "import json\n"
+            "good = json.dumps({}, sort_keys=True)\n"
+            "bad = json.dumps({}, indent=2)\n",
+        )
+        assert codes_at(report) == {("FAN002", 4)}
+
+    def test_pragma_module_sees_through_aliases(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "# lint: canonical-json\n"
+            "import json as json_module\n"
+            "json_module.dumps({})\n",
+        )
+        assert codes_at(report) == {("FAN002", 3)}
+
+    def test_without_pragma_only_digest_feeds_flag(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "import hashlib\n"
+            "import json\n"
+            "free = json.dumps({})\n"  # no pragma, not digested: allowed
+            "h = hashlib.sha256(json.dumps({}).encode())\n",
+        )
+        assert codes_at(report) == {("FAN002", 4)}
+
+
+# ---------------------------------------------------------------------------
+# FAN003 — bool leaking through isinstance(..., int)
+# ---------------------------------------------------------------------------
+
+
+class TestBoolInt:
+    def test_flags_unguarded_isinstance_int(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "def valid(x):\n"
+            "    return isinstance(x, int)\n",
+        )
+        assert codes_at(report) == {("FAN003", 2)}
+
+    def test_same_scope_bool_guard_silences(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "def valid(x):\n"
+            "    if isinstance(x, bool):\n"
+            "        return False\n"
+            "    return isinstance(x, int)\n",
+        )
+        assert report.clean
+
+    def test_explicit_int_bool_tuple_is_accepted(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "def valid(x):\n"
+            "    return isinstance(x, (int, bool))\n",
+        )
+        assert report.clean
+
+    def test_guard_in_another_scope_does_not_leak(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "def guard(x):\n"
+            "    return isinstance(x, bool)\n"
+            "def valid(x):\n"
+            "    return isinstance(x, int)\n",
+        )
+        assert codes_at(report) == {("FAN003", 4)}
+
+
+# ---------------------------------------------------------------------------
+# FAN004 — loop affinity
+# ---------------------------------------------------------------------------
+
+_LOOP_CLASS = (
+    "class Queue:\n"
+    "    def __init__(self):\n"
+    "        self.jobs = {}  # lint: loop-owned\n"
+    "        self.loop = None\n"
+)
+
+
+class TestLoopAffinity:
+    def test_flags_mutation_from_unmarked_sync_method(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            _LOOP_CLASS
+            + "    def drop(self, job_id):\n"
+            "        self.jobs.pop(job_id, None)\n",
+        )
+        assert codes_at(report) == {("FAN004", 6)}
+
+    def test_marked_method_and_coroutine_are_exempt(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            _LOOP_CLASS
+            + "    def admit(self, job):  # lint: loop-owned\n"
+            "        self.jobs[job.id] = job\n"
+            "    async def drain(self):\n"
+            "        self.jobs.clear()\n",
+        )
+        assert report.clean
+
+    def test_threadsafe_callback_reference_is_not_a_call(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            _LOOP_CLASS
+            + "    def _evict(self, job_id):  # lint: loop-owned\n"
+            "        self.jobs.pop(job_id, None)\n"
+            "    def note(self, job_id):\n"
+            "        self.loop.call_soon_threadsafe(self._evict, job_id)\n",
+        )
+        assert report.clean
+
+    def test_calling_owned_method_directly_flags(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            _LOOP_CLASS
+            + "    def _evict(self, job_id):  # lint: loop-owned\n"
+            "        self.jobs.pop(job_id, None)\n"
+            "    def note(self, job_id):\n"
+            "        self._evict(job_id)\n",
+        )
+        assert codes_at(report) == {("FAN004", 8)}
+
+    def test_class_without_declarations_is_ignored(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.jobs = {}\n"
+            "    def drop(self, job_id):\n"
+            "        self.jobs.pop(job_id, None)\n",
+        )
+        assert report.clean
+
+
+# ---------------------------------------------------------------------------
+# FAN005 — determinism of identity-bearing code
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_flags_clock_and_global_rng_in_scope(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "import random\n"
+            "import time\n"
+            "def task_fingerprint(spec):\n"
+            "    return (time.time(), random.random())\n",
+        )
+        assert codes_at(report) == {("FAN005", 4)}
+        assert len(report.findings) == 2  # both calls, same line
+
+    def test_seeded_numpy_generator_is_allowed(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def engine_identity(seed):\n"
+            "    return np.random.SeedSequence(seed).entropy\n",
+        )
+        assert report.clean
+
+    def test_outside_identity_functions_clocks_are_fine(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "import time\n"
+            "def elapsed(start):\n"
+            "    return time.time() - start\n",
+        )
+        assert report.clean
+
+    def test_legacy_numpy_global_state_flags(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "def digest_of(x):\n"
+            "    return np.random.rand()\n",
+        )
+        assert codes_at(report) == {("FAN005", 3)}
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics: suppression, selection, baseline, parse errors
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_inline_suppression_with_code_and_reason(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "Path('x').read_text()  # lint: ok FAN001 (locale probe)\n",
+        )
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_suppression_on_preceding_line(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "# lint: ok FAN001 (locale probe)\n"
+            "Path('x').read_text()\n",
+        )
+        assert report.clean and report.suppressed == 1
+
+    def test_suppression_is_code_specific(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "Path('x').read_text()  # lint: ok FAN003 (wrong code)\n",
+        )
+        assert codes_at(report) == {("FAN001", 2)}
+
+    def test_bare_ok_suppresses_everything(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "Path('x').read_text()  # lint: ok\n",
+        )
+        assert report.clean and report.suppressed == 1
+
+    def test_select_and_ignore(self, tmp_path):
+        source = (
+            "from pathlib import Path\n"
+            "Path('x').read_text()\n"
+            "def valid(x):\n"
+            "    return isinstance(x, int)\n"
+        )
+        only_enc = lint_source(tmp_path, source, select={"FAN001"})
+        assert {f.code for f in only_enc.findings} == {"FAN001"}
+        no_enc = lint_source(tmp_path, source, ignore={"FAN001"})
+        assert {f.code for f in no_enc.findings} == {"FAN003"}
+
+    def test_unknown_code_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            lint_source(tmp_path, "x = 1\n", select={"FAN999"})
+        with pytest.raises(ValueError):
+            selected_rules(ignore={"nonsense"})
+
+    def test_syntax_error_reports_fan000(self, tmp_path):
+        report = lint_source(tmp_path, "def broken(:\n")
+        assert [f.code for f in report.findings] == ["FAN000"]
+
+    def test_missing_path_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            expand_paths([tmp_path / "no-such-dir"])
+
+    def test_expand_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text(
+            "x = 1\n", encoding="utf-8"
+        )
+        (tmp_path / "real.py").write_text("x = 1\n", encoding="utf-8")
+        assert [p.name for p in expand_paths([tmp_path])] == ["real.py"]
+
+    def test_baseline_downgrades_matching_findings(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(
+            json.dumps({"accepted": [{"code": "FAN001", "path": "sample.py"}]}),
+            encoding="utf-8",
+        )
+        report = lint_source(
+            tmp_path,
+            "from pathlib import Path\n"
+            "Path('x').read_text()\n",
+            baseline=load_baseline(baseline_file),
+        )
+        assert report.clean
+        assert [(f.code, f.line) for f in report.baselined] == [("FAN001", 2)]
+
+    def test_malformed_baseline_is_a_data_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"accepted": [{"code": 1}]}', encoding="utf-8")
+        with pytest.raises(DataError):
+            load_baseline(bad)
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(DataError):
+            load_baseline(bad)
+
+    def test_lint_file_returns_suppressed_count(self, tmp_path):
+        path = tmp_path / "s.py"
+        path.write_text(
+            "from pathlib import Path\n"
+            "Path('x').read_text()  # lint: ok FAN001 (fixture)\n",
+            encoding="utf-8",
+        )
+        findings, suppressed = lint_file(path, iter_rules())
+        assert findings == [] and suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_exit_zero_and_one(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(clean)]) == 0
+        assert "lint clean" in capsys.readouterr().out
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "from pathlib import Path\nPath('x').read_text()\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr()
+        assert "FAN001" in out.out and "dirty.py:2" in out.out
+
+    def test_json_report_written_even_on_failure(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "from pathlib import Path\nPath('x').read_text()\n",
+            encoding="utf-8",
+        )
+        report_file = tmp_path / "report.json"
+        assert main(["lint", str(dirty), "--json", str(report_file)]) == 1
+        payload = json.loads(report_file.read_text(encoding="utf-8"))
+        assert payload["clean"] is False
+        assert payload["findings"][0]["code"] == "FAN001"
+
+    def test_select_and_ignore_flags(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "from pathlib import Path\nPath('x').read_text()\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(dirty), "--ignore", "FAN001"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(dirty), "--select", "FAN001"]) == 1
+        capsys.readouterr()
+        assert main(["lint", str(dirty), "--select", "FAN000X"]) == 1
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_list_rules_prints_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in iter_rules():
+            assert rule.code in out
+
+    def test_baseline_flag(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "from pathlib import Path\nPath('x').read_text()\n",
+            encoding="utf-8",
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"accepted": [{"code": "FAN001", "path": "dirty.py"}]}),
+            encoding="utf-8",
+        )
+        assert main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+        assert "[baselined]" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Self-hosting: this repository lints clean
+# ---------------------------------------------------------------------------
+
+
+class TestSelfHost:
+    def test_repo_lints_clean(self):
+        paths = [
+            REPO_ROOT / name
+            for name in ("src", "tests", "benchmarks")
+            if (REPO_ROOT / name).is_dir()
+        ]
+        assert paths, "repo layout changed: no lintable trees found"
+        baseline_file = REPO_ROOT / "lint-baseline.json"
+        baseline = (
+            load_baseline(baseline_file) if baseline_file.is_file() else None
+        )
+        report = lint_paths(paths, baseline=baseline)
+        assert report.clean, "repo must lint clean:\n" + "\n".join(
+            f.format() for f in report.findings
+        )
+
+    def test_checked_in_baseline_is_empty(self):
+        baseline_file = REPO_ROOT / "lint-baseline.json"
+        assert baseline_file.is_file(), "lint-baseline.json must be checked in"
+        assert load_baseline(baseline_file) == set(), (
+            "the baseline exists for emergencies and must stay empty; "
+            "fix or inline-suppress findings instead"
+        )
+
+    def test_every_rule_documents_itself(self):
+        rules = iter_rules()
+        assert [r.code for r in rules] == [
+            "FAN001", "FAN002", "FAN003", "FAN004", "FAN005",
+        ]
+        for rule in rules:
+            assert rule.name and rule.summary and rule.rationale
+        catalog = (REPO_ROOT / "docs" / "lint-rules.md").read_text(
+            encoding="utf-8"
+        )
+        for rule in rules:
+            assert rule.code in catalog, f"{rule.code} missing from catalog"

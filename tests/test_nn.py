@@ -205,7 +205,7 @@ class TestSerialization:
         with pytest.raises(DataError):
             network_from_dict({"nope": 1})
         path = tmp_path / "garbage.json"
-        path.write_text("{not json")
+        path.write_text("{not json", encoding="utf-8")
         with pytest.raises(DataError):
             load_network(path)
 

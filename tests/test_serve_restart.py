@@ -187,7 +187,7 @@ class TestJournalReplayUnit:
         for i in range(1, 30):
             journal.record_progress(f"j{i:06d}", {"done": i})
         journal.compact()
-        lines = (tmp_path / JOURNAL_FILE_NAME).read_text().splitlines()
+        lines = (tmp_path / JOURNAL_FILE_NAME).read_text(encoding="utf-8").splitlines()
         assert len(lines) == 1  # progress history is dropped: meta only
         journal.close()
 
