@@ -196,6 +196,7 @@ class BmcChecker:
         """
         unroller = ModuleUnroller(module, self.max_values)
         unroller.encode_init(0)
+        bound_reached = self.max_bound
         for bound in range(self.max_bound + 1):
             if bound > 0:
                 unroller.encode_transition(bound - 1)
@@ -209,9 +210,18 @@ class BmcChecker:
                     engine=self.name,
                     bound_reached=bound,
                 )
+            if (
+                result.status is SatStatus.UNSAT
+                and result.failed_assumptions is None
+            ):
+                # The unrolled system itself is unsatisfiable — not merely
+                # the bad-state assumption.  Deeper unrollings only add
+                # constraints to a poisoned solver, so stop deepening.
+                bound_reached = bound
+                break
         return CheckResult(
             Verdict.UNKNOWN,
             property_text=print_expression(prop),
             engine=self.name,
-            bound_reached=self.max_bound,
+            bound_reached=bound_reached,
         )

@@ -186,7 +186,11 @@ class QueryRunner:
         verifier = self._verifiers.get(index)
         if verifier is None:
             seeded = replace(self.config, seed=derive_seed(self.config.seed, index))
-            verifier = PortfolioVerifier(seeded, engine_stats=self.engine_stats)
+            verifier = PortfolioVerifier(
+                seeded,
+                engine_stats=self.engine_stats,
+                incremental=self.runtime.incremental,
+            )
             self._verifiers[index] = verifier
         return verifier
 
@@ -439,7 +443,12 @@ class QueryRunner:
         return outcome
 
     def _complete_probe(self, probe: FrontierProbe) -> VerificationResult:
-        """Complete-engine dispatch for one frontier survivor (memoised)."""
+        """Complete-engine dispatch for one frontier survivor (memoised).
+
+        Routed through the probe's per-input portfolio, which carries the
+        *session affinity*: with ``RuntimeConfig.incremental`` every
+        bisection probe of one input's boundary band lands in the same
+        warm :class:`~repro.verify.incremental.LadderSession`."""
         index = probe.group[0]
         result = self._verifier_for(index).verify_complete(probe.query)
         self.stats.verify_calls += 1
@@ -567,6 +576,7 @@ class QueryRunner:
                 monotone=self.runtime.monotone,
                 frontier=self.runtime.frontier,
                 batch_size=self.runtime.batch_size,
+                incremental=self.runtime.incremental,
                 engine_stats=self.engine_stats.snapshot(),
                 data_digest=self.data_digest,
             )
@@ -664,6 +674,7 @@ class _WorkerContext:
     monotone: bool = True
     frontier: bool = True
     batch_size: int = 4096
+    incremental: bool = True
     engine_stats: dict = field(default_factory=dict)
     data_digest: str | None = None
 
@@ -700,6 +711,7 @@ def _run_task(task) -> _TaskOutcome:
             monotone=context.monotone,
             frontier=context.frontier,
             batch_size=context.batch_size,
+            incremental=context.incremental,
         ),
         verifier=context.verifier,
         data_digest=context.data_digest,

@@ -37,6 +37,13 @@ class SatResult:
     ``model`` maps every variable index to a bool when ``status`` is SAT.
     ``conflicts`` counts learnt conflicts (a rough effort measure used in
     the engine-comparison benchmarks).
+
+    ``failed_assumptions`` distinguishes the two flavours of UNSAT: when
+    it is a tuple, only the conjunction of *these* assumption literals
+    (a subset of the ``assumptions`` argument, in prefix order) is
+    refuted and the solver stays reusable for other assumption sets;
+    when it is ``None``, the formula itself is unsatisfiable and every
+    future ``solve`` call will answer UNSAT.
     """
 
     status: SatStatus
@@ -44,20 +51,27 @@ class SatResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    failed_assumptions: tuple[int, ...] | None = None
 
     def __bool__(self) -> bool:
         return self.status is SatStatus.SAT
 
 
 class _Clause:
-    """Mutable clause with watch bookkeeping and an activity score."""
+    """Mutable clause with watch bookkeeping and an activity score.
 
-    __slots__ = ("literals", "learnt", "activity")
+    ``removed`` marks a clause dropped by :meth:`CdclSolver._reduce_db`;
+    the watch lists prune such entries lazily on their next visit instead
+    of rebuilding the whole table eagerly.
+    """
+
+    __slots__ = ("literals", "learnt", "activity", "removed")
 
     def __init__(self, literals: list[int], learnt: bool = False):
         self.literals = literals
         self.learnt = learnt
         self.activity = 0.0
+        self.removed = False
 
     def __iter__(self):
         return iter(self.literals)
@@ -111,6 +125,7 @@ class CdclSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.removed_clauses = 0
         self.ensure_vars(num_vars)
 
     # -- variable management ------------------------------------------------
@@ -244,6 +259,8 @@ class CdclSolver:
                 if conflict is not None:
                     keep.append(clause)
                     continue
+                if clause.removed:
+                    continue  # lazily pruned _reduce_db leftovers
                 # Normalise: the falsified watch sits at index 1.
                 if clause[0] == false_literal:
                     clause[0], clause[1] = clause[1], clause[0]
@@ -364,26 +381,62 @@ class CdclSolver:
                 return var
         return None
 
+    # -- assumption-failure analysis ---------------------------------------------------
+
+    def _analyze_final(
+        self, failed: int, assumptions: Sequence[int]
+    ) -> tuple[int, ...]:
+        """Minimal-ish core of assumptions responsible for falsifying ``failed``.
+
+        MiniSat's ``analyzeFinal``: walk the trail backwards from the
+        assignment that falsified the next assumption, expanding reason
+        clauses; every reason-free trail literal above level 0 reached
+        this way is an assumption pseudo-decision (only assumptions are
+        established as decisions while ``decision_level <
+        len(assumptions)``), so the surviving set — plus ``failed``
+        itself — is a refuted subset of the assumption prefix.  Returned
+        in assumption order, computed *before* backtracking.
+        """
+        responsible = {failed}
+        if self._trail_lim:
+            seen = [False] * (self._num_vars + 1)
+            seen[abs(failed)] = True
+            for literal in reversed(self._trail[self._trail_lim[0]:]):
+                var = abs(literal)
+                if not seen[var]:
+                    continue
+                seen[var] = False
+                reason = self._reason[var]
+                if reason is None:
+                    responsible.add(literal)
+                else:
+                    for other in reason.literals[1:]:
+                        if self._level[abs(other)] > 0:
+                            seen[abs(other)] = True
+        return tuple(lit for lit in assumptions if lit in responsible)
+
     # -- learnt DB reduction -----------------------------------------------------------
 
     def _reduce_db(self) -> None:
-        """Drop the lower-activity half of learnt clauses (keep reasons)."""
+        """Drop the lower-activity half of learnt clauses (keep reasons).
+
+        Removal only *marks* the clause: watch-list entries are pruned
+        lazily the next time propagation visits them, so a reduction is
+        O(learnts) instead of O(total watch entries) — the difference
+        matters for long-lived incremental sessions, whose watch tables
+        keep growing while reductions keep firing.
+        """
         locked = {id(self._reason[abs(lit)]) for lit in self._trail if self._reason[abs(lit)]}
         self._learnts.sort(key=lambda c: c.activity)
         cut = len(self._learnts) // 2
-        removed: set[int] = set()
         survivors: list[_Clause] = []
         for position, clause in enumerate(self._learnts):
             if position < cut and id(clause) not in locked and len(clause) > 2:
-                removed.add(id(clause))
+                clause.removed = True
+                self.removed_clauses += 1
             else:
                 survivors.append(clause)
         self._learnts = survivors
-        if removed:
-            for literal in list(self._watches):
-                self._watches[literal] = [
-                    c for c in self._watches[literal] if id(c) not in removed
-                ]
 
     # -- main loop ------------------------------------------------------------------------
 
@@ -447,13 +500,20 @@ class CdclSolver:
             # Establish assumptions as pseudo-decisions, in order.  Learnt
             # clauses never mention decisions, so they remain valid across
             # calls; an assumption forced false here means UNSAT *under
-            # these assumptions* (the formula itself may stay SAT).
+            # these assumptions* (the formula itself may stay SAT), which
+            # the result records as a failed-assumption core — the solver
+            # stays reusable, unlike the formula-level UNSAT paths above.
             if self.decision_level < len(assumptions):
                 literal = assumptions[self.decision_level]
                 value = self._value(literal)
                 if value == -1:
+                    core = self._analyze_final(literal, assumptions)
                     self._cancel_until(0)
-                    return SatResult(SatStatus.UNSAT, conflicts=self.conflicts)
+                    return SatResult(
+                        SatStatus.UNSAT,
+                        conflicts=self.conflicts,
+                        failed_assumptions=core,
+                    )
                 self._new_decision_level()
                 if value == 0:
                     self._enqueue(literal, None)

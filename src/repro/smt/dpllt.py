@@ -30,6 +30,7 @@ from .simplex import BoundKind, BoundRef, Simplex
 class TheoryResult(Enum):
     SAT = "sat"
     UNSAT = "unsat"
+    UNKNOWN = "unknown"
 
 
 @dataclass
@@ -55,7 +56,7 @@ class DpllTModel:
 class DpllTSolver:
     """Lazy DPLL(T) over linear rational/integer arithmetic."""
 
-    def __init__(self, node_budget: int = 100_000):
+    def __init__(self, node_budget: int = 100_000, max_conflicts: int | None = None):
         self.sat = CdclSolver()
         self.simplex = Simplex()
         self._atoms: dict[int, TheoryAtom] = {}
@@ -63,6 +64,10 @@ class DpllTSolver:
         self._integer_vars: set[object] = set()
         self._slack_cache: dict[frozenset, int] = {}
         self.node_budget = node_budget
+        #: Total CDCL conflict budget across the whole lazy loop (None =
+        #: unbounded).  Exhaustion yields ``TheoryResult.UNKNOWN`` — never
+        #: a verdict.
+        self.max_conflicts = max_conflicts
         self.theory_conflicts = 0
 
     # -- problem construction ------------------------------------------------
@@ -163,8 +168,19 @@ class DpllTSolver:
             if negation is not None:
                 self._slack_for(negation)
 
+        conflict_floor = self.sat.conflicts
         while True:
-            sat_result = self.sat.solve()
+            remaining = None
+            if self.max_conflicts is not None:
+                remaining = self.max_conflicts - (self.sat.conflicts - conflict_floor)
+                if remaining <= 0:
+                    return TheoryResult.UNKNOWN, None
+            sat_result = self.sat.solve(max_conflicts=remaining)
+            if sat_result.status is SatStatus.UNKNOWN:
+                # Conflict budget exhausted: resource limit, not a proof.
+                # (A bare "not SAT" test here would silently promote this
+                # to UNSAT — the three statuses must stay distinguished.)
+                return TheoryResult.UNKNOWN, None
             if sat_result.status is not SatStatus.SAT:
                 return TheoryResult.UNSAT, None
 

@@ -22,6 +22,11 @@ Engines, ordered by the guarantees they offer:
   with the incomplete-stage order chosen per workload from an
   :class:`EngineStats` decide-rate/wall-time table; the default used by
   the FANNet pipeline.
+- :class:`LadderSession` (:mod:`repro.verify.incremental`) — the warm
+  complete stage behind the portfolio's default SMT path: network+input
+  encoded once per adversary, each rung's noise budget expressed as
+  retractable assumption literals and push/pop bound frames, learned
+  clauses and tableau bases reused across the whole ladder.
 - :class:`FrontierPrepass` / :func:`resolve_survivors`
   (:mod:`repro.verify.batch`) — the frontier-batched plane: many queries
   (same network, many inputs × many percents) resolved in bulk by
@@ -38,6 +43,7 @@ from .interval import IntervalVerifier, interval_bulk
 from .exhaustive import ExhaustiveEnumerator
 from .falsify import CornerFalsifier, RandomFalsifier
 from .smt_verifier import SmtVerifier
+from .incremental import LadderSession
 from .milp_verifier import MilpVerifier
 from .stats import EngineStats, StageStat
 from .portfolio import PortfolioVerifier
@@ -61,6 +67,7 @@ __all__ = [
     "RandomFalsifier",
     "CornerFalsifier",
     "SmtVerifier",
+    "LadderSession",
     "MilpVerifier",
     "EngineStats",
     "StageStat",

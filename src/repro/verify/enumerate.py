@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import VerifierConfig
-from ..errors import VerificationError
+from ..errors import BudgetExceededError, VerificationError
 from ..smt import DpllTSolver, LinExpr, TheoryResult
 from .encoder import ScaledQuery
 from .exhaustive import ExhaustiveEnumerator
@@ -170,6 +170,13 @@ class NoiseVectorCollector:
             solver.add_clause(literals)
 
         verdict, model = solver.solve()
+        if verdict is TheoryResult.UNKNOWN:
+            # A budgeted solver ran out of conflicts: treating this as
+            # "no witness" would fabricate an exhausted vector set.
+            raise BudgetExceededError(
+                "DPLL(T) extraction exhausted its conflict budget",
+                budget=self.config.node_budget,
+            )
         if verdict is TheoryResult.UNSAT:
             return None
         witness = tuple(int(model.values[name]) for name in noise_names)

@@ -24,10 +24,17 @@ from ..config import VerifierConfig
 from .encoder import ScaledQuery
 from .exhaustive import ExhaustiveEnumerator
 from .falsify import CornerFalsifier, RandomFalsifier
+from .incremental import LadderSession
 from .interval import IntervalVerifier
 from .result import VerificationResult, VerificationStatus
 from .smt_verifier import SmtVerifier
 from .stats import EngineStats
+
+#: Warm ladder sessions kept per portfolio: one per (input, label) pair
+#: this verifier has sent to the SMT-sized complete stage.  A per-input
+#: portfolio only ever sees a handful of pairs; the cap is a safety net
+#: against unbounded growth when a verifier is shared across inputs.
+MAX_SESSIONS = 8
 
 
 class PortfolioVerifier:
@@ -40,9 +47,11 @@ class PortfolioVerifier:
         config: VerifierConfig | None = None,
         exhaustive_cutoff: int = 200_000,
         engine_stats: EngineStats | None = None,
+        incremental: bool = True,
     ):
         self.config = config or VerifierConfig()
         self.exhaustive_cutoff = exhaustive_cutoff
+        self.incremental = incremental
         self.interval = IntervalVerifier()
         self.corner = CornerFalsifier()
         self.random = RandomFalsifier(seed=self.config.seed)
@@ -50,6 +59,8 @@ class PortfolioVerifier:
         self.smt = SmtVerifier(self.config)
         self.engine_stats = engine_stats if engine_stats is not None else EngineStats()
         self.stage_counts: dict[str, int] = {}
+        #: (input values, true label) -> LadderSession, insertion-ordered.
+        self._sessions: dict[tuple, LadderSession] = {}
         self._incomplete = {
             "interval": self.interval,
             "corner": self.corner,
@@ -70,12 +81,18 @@ class PortfolioVerifier:
 
     def verify_complete(self, query: ScaledQuery) -> VerificationResult:
         """The complete stage alone: enumeration when the box is small (it
-        is usually faster than phase splitting there), SMT otherwise.
+        is usually faster than phase splitting there), SMT otherwise —
+        warm via a per-(input, label) :class:`LadderSession` by default,
+        from scratch with ``incremental=False``.  Verdicts and witnesses
+        are byte-identical either way (the session re-derives witnesses
+        canonically); only solver effort differs.
 
         Also the entry point for queries whose incomplete stages already
         ran inside a frontier prepass (:mod:`repro.verify.batch`)."""
         if query.noise_space_size() <= self.exhaustive_cutoff:
             stage, engine = "exhaustive", self.exhaustive
+        elif self.incremental:
+            stage, engine = "session", self._session_for(query)
         else:
             stage, engine = "smt", self.smt
         start = time.perf_counter()
@@ -85,6 +102,26 @@ class PortfolioVerifier:
             stage, result.status is not VerificationStatus.UNKNOWN, wall
         )
         return self._record(result, stage, wall)
+
+    def _session_for(self, query: ScaledQuery) -> LadderSession:
+        """The warm session for this query's (input, label) ladder."""
+        key = (tuple(int(v) for v in query.x), query.true_label)
+        session = self._sessions.get(key)
+        if session is None:
+            if len(self._sessions) >= MAX_SESSIONS:
+                # Deterministic FIFO eviction: drop the oldest ladder.
+                self._sessions.pop(next(iter(self._sessions)))
+            session = self._sessions[key] = LadderSession(self.config)
+        return session
+
+    def complete_pivots(self) -> int:
+        """Simplex pivots spent by the SMT-path complete engines.
+
+        The deterministic effort metric the incremental-ladder benchmark
+        compares across ``incremental`` on/off."""
+        return self.smt.total_pivots + sum(
+            session.total_pivots for session in self._sessions.values()
+        )
 
     def _record(
         self, result: VerificationResult, stage: str, wall: float

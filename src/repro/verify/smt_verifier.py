@@ -51,6 +51,10 @@ class SmtVerifier:
     def __init__(self, config: VerifierConfig | None = None):
         self.config = config or VerifierConfig()
         self.nodes_explored = 0
+        #: Cumulative simplex pivots over this verifier's lifetime (never
+        #: reset by ``verify``): the deterministic effort measure the
+        #: incremental-ladder benchmark gates on.
+        self.total_pivots = 0
 
     def verify(self, query: ScaledQuery) -> VerificationResult:
         """Decide the query; ROBUST and VULNERABLE are both definitive."""
@@ -80,9 +84,26 @@ class SmtVerifier:
 
     # -- per-adversary search ----------------------------------------------------
 
+    def witness_against(self, query: ScaledQuery, adversary: int):
+        """Canonical witness flipping to ``adversary``, or None.
+
+        The from-scratch per-adversary search, exposed so the incremental
+        session layer (:mod:`repro.verify.incremental`) can re-derive the
+        *same* witness a cold run would report after its warm solvers
+        prove a rung vulnerable.  ``nodes_explored`` accumulates across
+        calls; reset it before use if per-call counts matter.
+        """
+        return self._verify_against(query, adversary)
+
     def _verify_against(self, query: ScaledQuery, adversary: int):
         """Witness flipping to ``adversary``, or None when impossible."""
         simplex = Simplex()
+        try:
+            return self._search_adversary(simplex, query, adversary)
+        finally:
+            self.total_pivots += simplex.total_pivots
+
+    def _search_adversary(self, simplex: Simplex, query: ScaledQuery, adversary: int):
         one = simplex.new_var()
         simplex.assert_lower(one, 1)
         simplex.assert_upper(one, 1)

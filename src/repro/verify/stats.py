@@ -40,8 +40,10 @@ _CANDIDATE_ORDERS: tuple[tuple[str, ...], ...] = (
     ("corner", "random", "interval"),
 )
 
-#: Names counted as complete-engine invocations.
-COMPLETE_STAGES: tuple[str, ...] = ("exhaustive", "smt", "milp")
+#: Names counted as complete-engine invocations.  ``session`` is the
+#: incremental ladder session (:mod:`repro.verify.incremental`) — the
+#: warm counterpart of the from-scratch ``smt`` stage.
+COMPLETE_STAGES: tuple[str, ...] = ("exhaustive", "smt", "session", "milp")
 
 #: Attempts a stage needs before its observed rates steer the schedule.
 _MIN_SAMPLES = 16
